@@ -1,0 +1,61 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Chapter 5 + the Chapter 6 oracle study), then
+   measures the raw speed of the dynamic translator itself with
+   Bechamel — the quantity behind the paper's "instructions needed to
+   translate one instruction" overhead analysis (Section 5.1). *)
+
+let translator_microbench () =
+  print_newline ();
+  print_endline "Translator micro-benchmarks (Bechamel)";
+  print_endline "--------------------------------------";
+  let open Bechamel in
+  let w = Workloads.Registry.by_name "compress" in
+  let mem, entry = Workloads.Wl.instantiate w in
+  (* how many base instructions one cold page translation schedules *)
+  let probe = Translator.Translate.create Translator.Params.default mem in
+  ignore (Translator.Translate.entry probe entry);
+  let insns = probe.totals.insns in
+  let tests =
+    Test.make_grouped ~name:"daisy"
+      [ Test.make ~name:"translate-page"
+          (Staged.stage (fun () ->
+               let tr =
+                 Translator.Translate.create Translator.Params.default mem
+               in
+               ignore (Translator.Translate.entry tr entry)));
+        Test.make ~name:"interp-1k-insns"
+          (Staged.stage (fun () ->
+               let mem2, e2 = Workloads.Wl.instantiate w in
+               let st = Ppc.Machine.create () in
+               st.pc <- e2;
+               let it = Ppc.Interp.create st mem2 in
+               ignore (Ppc.Interp.run it ~fuel:1000))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some (est :: _) ->
+        Printf.printf "%-28s %12.0f ns/run" name est;
+        if name = "daisy/translate-page" then
+          Printf.printf "  (%d base ins scheduled -> %.0f ns per base ins)"
+            insns
+            (est /. float_of_int insns);
+        print_newline ()
+      | _ -> ())
+    results
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_endline "DAISY experiment suite: regenerating all tables and figures";
+  Stats.Experiments.all ();
+  (try translator_microbench ()
+   with e ->
+     Printf.printf "translator micro-benchmark skipped: %s\n"
+       (Printexc.to_string e));
+  Printf.printf "\nTotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)

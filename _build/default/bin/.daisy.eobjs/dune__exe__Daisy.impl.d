@@ -1,0 +1,1 @@
+bin/daisy.ml: Arg Array Baseline Cmd Cmdliner Format List Memsys Printf Stats String Term Translator Vliw Vmm Workloads

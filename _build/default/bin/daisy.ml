@@ -1,0 +1,174 @@
+(* The daisy command-line tool.
+
+     daisy list                      — available workloads
+     daisy run <workload> [...]     — run under DAISY, print statistics
+     daisy trees <workload>         — dump the entry page's tree VLIWs
+     daisy experiments [ids]        — regenerate paper tables/figures
+     daisy ladder <workload>        — the parallelism ladder (Ch. 6)    *)
+
+open Cmdliner
+module Params = Translator.Params
+module Vec = Translator.Vec
+
+let workload_conv =
+  let parse s =
+    match Workloads.Registry.by_name s with
+    | w -> Ok w
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf (w : Workloads.Wl.t) -> Format.pp_print_string ppf w.name)
+
+let config_conv =
+  let parse s =
+    let found =
+      Array.to_list Vliw.Config.figure_5_1
+      |> List.find_opt (fun (c : Vliw.Config.t) -> c.name = s)
+    in
+    match found with
+    | Some c -> Ok c
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown config %S (have: %s)" s
+             (String.concat ", "
+                (Array.to_list Vliw.Config.figure_5_1
+                |> List.map (fun (c : Vliw.Config.t) -> c.name)))))
+  in
+  Arg.conv (parse, fun ppf (c : Vliw.Config.t) -> Format.pp_print_string ppf c.name)
+
+let params_term =
+  let config =
+    Arg.(value & opt config_conv Vliw.Config.default
+         & info [ "config" ] ~docv:"NAME" ~doc:"Machine configuration (e.g. 24-16-8-7).")
+  in
+  let page =
+    Arg.(value & opt int 4096 & info [ "page-size" ] ~docv:"BYTES" ~doc:"Translation unit.")
+  in
+  let window =
+    Arg.(value & opt int Params.default.window & info [ "window" ] ~doc:"Per-path window.")
+  in
+  let join =
+    Arg.(value & opt int Params.default.join_limit
+         & info [ "join-limit" ] ~doc:"Re-schedule budget per base instruction.")
+  in
+  let no_rename = Arg.(value & flag & info [ "no-rename" ] ~doc:"Disable out-of-order renaming.") in
+  let no_spec = Arg.(value & flag & info [ "no-load-spec" ] ~doc:"Keep loads below stores.") in
+  let no_fwd = Arg.(value & flag & info [ "no-forward" ] ~doc:"Disable store-to-load forwarding.") in
+  let single = Arg.(value & flag & info [ "single-path" ] ~doc:"Schedule only the probable path.") in
+  let adaptive =
+    Arg.(value & flag
+         & info [ "adaptive-alias" ]
+             ~doc:"Retranslate pages without load speculation on alias storms.")
+  in
+  let make config page window join no_rename no_spec no_fwd single adaptive =
+    { Params.default with
+      config; page_size = page; window; join_limit = join;
+      rename = not no_rename; load_spec = not no_spec;
+      store_forward = not no_fwd; multipath = not single;
+      adaptive_alias = adaptive }
+  in
+  Term.(const make $ config $ page $ window $ join $ no_rename $ no_spec
+        $ no_fwd $ single $ adaptive)
+
+let list_cmd =
+  let doc = "List the available workloads." in
+  let run () =
+    List.iter
+      (fun (w : Workloads.Wl.t) -> Printf.printf "%-10s %s\n" w.name w.description)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run a workload under DAISY and print statistics." in
+  let finite =
+    Arg.(value & flag
+         & info [ "finite" ] ~doc:"Attach the paper's 24-issue cache hierarchy.")
+  in
+  let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
+  let run w params finite =
+    let hierarchy = if finite then Some (Memsys.Hierarchy.paper_24issue ()) else None in
+    let r = Vmm.Run.run ~params ?hierarchy w in
+    Printf.printf "workload:             %s\n" r.Vmm.Run.name;
+    Printf.printf "exit code:            %s\n"
+      (match r.exit_code with Some c -> string_of_int c | None -> "(fuel)");
+    Printf.printf "base instructions:    %d (static %d, reuse %d)\n" r.base_insns
+      r.static_insns (r.base_insns / max 1 r.static_insns);
+    Printf.printf "tree VLIWs executed:  %d (+%d interpreted instructions)\n"
+      r.vliws r.interp_insns;
+    Printf.printf "ILP (infinite cache): %.2f\n" r.ilp_inf;
+    if finite then Printf.printf "ILP (finite cache):   %.2f (%d stall cycles)\n" r.ilp_fin r.stall_cycles;
+    Printf.printf "loads/stores:         %d / %d\n" r.loads r.stores;
+    Printf.printf "cross-page branches:  %d direct, %d via LR, %d via CTR\n"
+      r.stats.cross_direct r.stats.cross_lr r.stats.cross_ctr;
+    Printf.printf "alias recoveries:     %d (adaptive retranslations %d)\n"
+      r.stats.aliases r.stats.adaptive_retranslations;
+    Printf.printf "translation:          %d pages, %d entries, %d ins scheduled, %d VLIWs, %d code bytes\n"
+      r.totals.pages r.totals.entry_points r.totals.insns r.totals.vliws_made
+      r.code_bytes
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ w $ params_term $ finite)
+
+let trees_cmd =
+  let doc = "Translate a workload's entry page and print its tree VLIWs." in
+  let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
+  let run (w : Workloads.Wl.t) params =
+    let mem, entry = Workloads.Wl.instantiate w in
+    let tr = Translator.Translate.create params mem in
+    let page, _ = Translator.Translate.entry tr entry in
+    Vec.iter (fun v -> Format.printf "%a@." Vliw.Tree.pp v) page.vliws
+  in
+  Cmd.v (Cmd.info "trees" ~doc) Term.(const run $ w $ params_term)
+
+let experiments_cmd =
+  let doc = "Regenerate the paper's tables and figures (all, or by id)." in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let run = function
+    | [] -> Stats.Experiments.all ()
+    | ids ->
+      List.iter
+        (fun id ->
+          match id with
+          | "t5.1" -> Stats.Experiments.table_5_1 ()
+          | "f5.1" -> Stats.Experiments.figure_5_1 ()
+          | "t5.2" -> Stats.Experiments.table_5_2 ()
+          | "t5.3" -> Stats.Experiments.table_5_3 ()
+          | "t5.4" -> Stats.Experiments.table_5_4 ()
+          | "f5.2" -> Stats.Experiments.figure_5_2 ()
+          | "t5.5" -> Stats.Experiments.table_5_5 ()
+          | "t5.6" -> Stats.Experiments.table_5_6 ()
+          | "t5.7" -> Stats.Experiments.table_5_7 ()
+          | "f5.3" -> Stats.Experiments.figure_5_3 ()
+          | "f5.4" -> Stats.Experiments.figure_5_4 ()
+          | "f5.5" -> Stats.Experiments.figure_5_5 ()
+          | "t5.8" -> Stats.Experiments.table_5_8 ()
+          | "t5.9" -> Stats.Experiments.table_5_9 ()
+          | "oracle" -> Stats.Experiments.oracle ()
+          | "ablations" -> Stats.Experiments.ablations ()
+          | "s390" -> Stats.Experiments.s390_retarget ()
+          | other -> Printf.eprintf "unknown experiment id %S\n" other)
+        ids
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ ids)
+
+let ladder_cmd =
+  let doc = "Print the parallelism ladder for a workload (Chapter 6)." in
+  let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
+  let run (w : Workloads.Wl.t) =
+    let inorder = Baseline.Inorder.run w in
+    Printf.printf "%-36s %6.2f\n" "in-order base machine" inorder.ipc;
+    let big = Vmm.Run.run w in
+    Printf.printf "%-36s %6.2f\n" "DAISY 24-issue" big.ilp_inf;
+    let trad = Vmm.Run.run ~params:(Baseline.Tradcomp.params w) w in
+    Printf.printf "%-36s %6.2f\n" "traditional VLIW compiler" trad.ilp_inf;
+    let oracle = Baseline.Oracle.run w in
+    Printf.printf "%-36s %6.2f\n" "oracle" oracle.ilp
+  in
+  Cmd.v (Cmd.info "ladder" ~doc) Term.(const run $ w)
+
+let () =
+  let doc = "DAISY: dynamic binary translation onto a tree-VLIW machine" in
+  let info = Cmd.info "daisy" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; trees_cmd; experiments_cmd; ladder_cmd ]))

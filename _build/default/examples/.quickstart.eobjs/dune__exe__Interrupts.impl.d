@@ -1,0 +1,1 @@
+examples/interrupts.ml: Format Ppc Vmm Workloads

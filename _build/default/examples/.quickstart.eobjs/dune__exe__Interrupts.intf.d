@@ -1,0 +1,1 @@
+examples/interrupts.mli:

@@ -1,0 +1,1 @@
+examples/oracle_gap.ml: Array Baseline Format Sys Translator Vliw Vmm Workloads

@@ -1,0 +1,1 @@
+examples/precise_exceptions.ml: Array Asm Format Hashtbl Interp Machine Mem Ppc Vmm

@@ -1,0 +1,1 @@
+examples/precise_exceptions.mli:

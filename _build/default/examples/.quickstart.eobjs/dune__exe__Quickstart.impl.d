@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Format Hashtbl Interp Machine Mem Ppc Translator Vliw Vmm

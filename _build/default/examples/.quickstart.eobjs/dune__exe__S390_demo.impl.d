@@ -1,0 +1,1 @@
+examples/s390_demo.ml: Format Hashtbl Ppc S390 Translator Vliw Vmm

@@ -1,0 +1,1 @@
+examples/s390_demo.mli:

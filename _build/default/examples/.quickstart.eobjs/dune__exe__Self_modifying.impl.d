@@ -1,0 +1,1 @@
+examples/self_modifying.ml: Asm Encode Format Hashtbl Insn Mem Ppc Vmm

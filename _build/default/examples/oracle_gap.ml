@@ -1,0 +1,32 @@
+(* The parallelism ladder (Chapters 5 and 6).
+
+   For one workload, measure ILP at each rung between a minimal machine
+   and the oracle: the in-order base machine, DAISY on the smallest and
+   the biggest configuration, the traditional compiler, and the oracle
+   schedule of the dynamic trace with unlimited resources — the gap the
+   paper's interpretive-compilation proposal aims to close.
+
+     dune exec examples/oracle_gap.exe [workload]      *)
+
+module Params = Translator.Params
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "c_sieve" in
+  let w = Workloads.Registry.by_name name in
+  Format.printf "Parallelism ladder for %s:@." w.name;
+  let inorder = Baseline.Inorder.run w in
+  Format.printf "  %-34s %6.2f@." "in-order base machine (604E-class)" inorder.ipc;
+  let small =
+    Vmm.Run.run ~params:{ Params.default with config = Vliw.Config.figure_5_1.(0) } w
+  in
+  Format.printf "  %-34s %6.2f@." "DAISY, 4-issue (4-2-2-1)" small.ilp_inf;
+  let eight =
+    Vmm.Run.run ~params:{ Params.default with config = Vliw.Config.eight_issue } w
+  in
+  Format.printf "  %-34s %6.2f@." "DAISY, 8-issue (8-8-4-3)" eight.ilp_inf;
+  let big = Vmm.Run.run w in
+  Format.printf "  %-34s %6.2f@." "DAISY, 24-issue (24-16-8-7)" big.ilp_inf;
+  let trad = Vmm.Run.run ~params:(Baseline.Tradcomp.params w) w in
+  Format.printf "  %-34s %6.2f@." "traditional VLIW compiler" trad.ilp_inf;
+  let oracle = Baseline.Oracle.run w in
+  Format.printf "  %-34s %6.2f@." "oracle (unlimited, perfect)" oracle.ilp

@@ -1,0 +1,118 @@
+(* Dynamically re-architecting DAISY for S/390 (Appendix E).
+
+   The same translator, tree-VLIW machine and VMM that run PowerPC
+   binaries here run an S/390 binary: a string-to-upper routine built
+   from the CISCy pieces the paper highlights — base+index+displacement
+   addressing under the 31-bit effective-address mask, an MVC
+   storage-to-storage move decomposed into RISC byte primitives, CLI/TM
+   condition-code tests mapped one-hot onto a condition field, and
+   BAL/BCR call/return through plain GPRs (S/390 branches are all
+   register-indirect, which the resulting trees make very visible).
+
+     dune exec examples/s390_demo.exe *)
+
+module A = S390.Asm
+module Vec = Translator.Vec
+
+let li16 a r v =
+  A.la a r (v lsr 4);
+  A.ins a (SLL (r, 4))
+
+let build a =
+  A.org a 0x100;
+  A.word a Ppc.Mem.mmio_halt;
+  A.org a 0x800;
+  A.label a "main";
+  A.set_base a "base";
+  (* copy the 12-byte source string to a work buffer with MVC *)
+  li16 a 6 0x2000;  (* source *)
+  li16 a 7 0x2100;  (* work *)
+  A.ins a (MVC (11, 0, 7, 0, 6));
+  (* uppercase the work buffer: 12 iterations of load/test/adjust *)
+  A.la a 5 12;
+  A.la a 2 0;       (* count of letters uppercased *)
+  A.label a "loop";
+  A.ins a (SI (CLI, 0, 7, 0x61));      (* < 'a'? *)
+  A.bl_ a "next";
+  A.ins a (SI (CLI, 0, 7, 0x7A));      (* > 'z'? *)
+  A.bh a "next";
+  A.ins a (RX (IC, 8, 0, 7, 0));       (* insert character *)
+  A.la a 9 0x20;
+  A.sr a 8 9;                          (* to upper *)
+  A.ins a (RX (STC, 8, 0, 7, 0));
+  A.la a 9 1;
+  A.ar a 2 9;
+  A.label a "next";
+  A.la a 9 1;
+  A.ar a 7 9;
+  A.bct a 5 "loop";
+  (* call a checksum routine through BAL/BCR *)
+  li16 a 7 0x2100;
+  A.bal a 14 "checksum";
+  (* exit code: checksum + 256 * letters *)
+  A.ins a (SLL (2, 8));
+  A.ar a 2 10;
+  A.ins a (RX (L, 3, 0, 0, 0x100));
+  A.ins a (RX (ST_, 2, 0, 3, 0));
+  (* r10 <- byte sum of 12 bytes at r7 *)
+  A.label a "checksum";
+  A.la a 10 0;
+  A.la a 5 12;
+  A.la a 11 0;
+  A.label a "ck_loop";
+  A.ins a (RX (IC, 11, 0, 7, 0));
+  A.ar a 10 11;
+  A.la a 9 1;
+  A.ar a 7 9;
+  A.bct a 5 "ck_loop";
+  A.br a 14
+
+let init mem = Ppc.Mem.blit_string mem 0x2000 "Daisy/s390!\x00"
+
+let () =
+  (* reference: the S/390 interpreter *)
+  let mem = Ppc.Mem.create 0x40000 in
+  let a = A.create () in
+  build a;
+  let labels = A.assemble a mem in
+  init mem;
+  let st = Ppc.Machine.create () in
+  st.pc <- A.resolve labels "main";
+  let it = S390.Interp.create st mem in
+  let rcode = S390.Interp.run it ~fuel:100_000 in
+
+  (* DAISY with the S/390 front end *)
+  let mem2 = Ppc.Mem.create 0x40000 in
+  let a2 = A.create () in
+  build a2;
+  let labels2 = A.assemble a2 mem2 in
+  init mem2;
+  let vmm = Vmm.Monitor.create ~frontend:S390.Frontend.s390 mem2 in
+  let dcode =
+    Vmm.Monitor.run vmm ~entry:(A.resolve labels2 "main") ~fuel:200_000
+  in
+  Format.printf "S/390 under DAISY: exit %s (interpreter: %s) — %s@."
+    (match dcode with Some c -> string_of_int c | None -> "-")
+    (match rcode with Some c -> string_of_int c | None -> "-")
+    (if rcode = dcode && Ppc.Machine.equal st vmm.st.m then "states agree"
+     else "DIVERGED");
+  Format.printf "uppercased copy: %S@."
+    (Ppc.Mem.read_string mem2 0x2100 11);
+  Format.printf
+    "base instructions %d, tree VLIWs executed %d (ILP %.2f); \
+     register-indirect cross-page branches: %d@.@."
+    it.icount vmm.stats.vliws
+    (float_of_int it.icount /. float_of_int (max 1 vmm.stats.vliws))
+    vmm.stats.cross_gpr;
+  (* show a few of the translated trees, Appendix-E style *)
+  (match Hashtbl.find_opt vmm.tr.pages 0 with
+  | Some page ->
+    print_endline "First tree VLIWs of the translation:";
+    let shown = ref 0 in
+    Vec.iter
+      (fun v ->
+        if !shown < 4 then (
+          incr shown;
+          Format.printf "%a@." Vliw.Tree.pp v))
+      page.vliws
+  | None -> ())

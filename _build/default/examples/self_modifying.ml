@@ -1,0 +1,57 @@
+(* Self-modifying code under DAISY (Section 3.2).
+
+   A program JIT-compiles its own inner loop: it writes a short
+   computation into an empty page, executes it, patches one instruction,
+   and executes it again.  Under DAISY each store into a page whose
+   translation exists trips the read-only bit, rolls back the current
+   VLIW, and invalidates the stale translation; the next entry
+   retranslates from the new bytes.  The base program needs no changes.
+
+     dune exec examples/self_modifying.exe *)
+
+open Ppc
+
+let jit_page = 0x4000
+
+let build a =
+  Asm.org a 0x1000;
+  Asm.label a "main";
+  (* emit "mullw r3,r3,r3; blr" into the jit page *)
+  Asm.li32 a 10 jit_page;
+  Asm.li32 a 11 (Encode.encode (Xo (Mullw, 3, 3, 3, false)));
+  Asm.stw a 11 10 0;
+  Asm.li32 a 11 (Encode.encode (Bclr (Insn.Bo.always, 0, false)));
+  Asm.stw a 11 10 4;
+  Asm.ins a Isync;
+  (* run it: 7^2 = 49 *)
+  Asm.li a 3 7;
+  Asm.mtctr a 10;
+  Asm.bctrl a;
+  Asm.mr a 20 3;
+  (* patch the mullw into an add: f(x) = x + x *)
+  Asm.li32 a 11 (Encode.encode (Xo (Add, 3, 3, 3, false)));
+  Asm.stw a 11 10 0;
+  Asm.ins a Isync;
+  Asm.li a 3 7;
+  Asm.mtctr a 10;
+  Asm.bctrl a;
+  (* result: 49 * 100 + 14 = 4914 *)
+  Asm.ins a (Mulli (20, 20, 100));
+  Asm.add a 3 3 20;
+  Asm.halt a ~scratch:31 3
+
+let () =
+  let mem = Mem.create 0x40000 in
+  let a = Asm.create () in
+  build a;
+  let labels = Asm.assemble a mem in
+  let vmm = Vmm.Monitor.create mem in
+  let code = Vmm.Monitor.run vmm ~entry:(Hashtbl.find labels "main") ~fuel:100_000 in
+  Format.printf "exit code: %s (expected 4914)@."
+    (match code with Some c -> string_of_int c | None -> "-");
+  Format.printf
+    "translations invalidated by stores: %d@\nrollbacks: %d  interpretation \
+     episodes: %d  pages translated: %d@."
+    vmm.stats.code_invalidations vmm.stats.rollbacks
+    vmm.stats.interp_episodes vmm.tr.totals.pages;
+  if code <> Some 4914 then exit 1

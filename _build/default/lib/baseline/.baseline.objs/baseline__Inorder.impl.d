@@ -1,0 +1,1 @@
+lib/baseline/inorder.ml: Array Decode Hashtbl Interp List Machine Mem Memsys Ppc Translator Workloads

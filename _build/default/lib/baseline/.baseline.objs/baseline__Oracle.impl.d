@@ -1,0 +1,1 @@
+lib/baseline/oracle.ml: Array Hashtbl Interp List Machine Mem Option Ppc Translator Workloads

@@ -1,0 +1,1 @@
+lib/baseline/profile.ml: Decode Hashtbl Insn Interp Machine Mem Ppc Workloads

@@ -1,0 +1,1 @@
+lib/baseline/tradcomp.ml: Profile Translator Vmm Workloads

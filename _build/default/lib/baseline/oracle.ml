@@ -1,0 +1,105 @@
+(* Oracle parallelism (Chapter 6): schedule the dynamic execution trace
+   with perfect branch prediction and perfect memory disambiguation —
+   every operation issues one cycle after its last data dependence, with
+   unlimited resources.  This is the limit the paper's "interpretive
+   compilation" scheme approaches on re-execution with the same input.
+
+   Dependences: true register dependences over the same resource space
+   the translator uses, plus load-after-store dependences at word
+   granularity through real effective addresses (computed from the
+   machine state the trace provides).  Output and anti dependences
+   vanish (infinite renaming); control dependences vanish (the trace IS
+   the oracle's prediction). *)
+
+module Crack = Translator.Crack
+module Res = Translator.Res
+open Ppc
+
+type result = {
+  insns : int;
+  cycles : int;
+  ilp : float;
+}
+
+let operand_res : Crack.operand -> int option = function
+  | Gpr i -> Some (Res.gpr i)
+  | Lr -> Some Res.lr
+  | Ctr -> Some Res.ctr
+  | Zero -> None
+  | TmpG _ -> None
+
+let operand_value (st : Machine.t) : Crack.operand -> int = function
+  | Gpr i -> st.gpr.(i)
+  | Lr -> st.lr
+  | Ctr -> st.ctr
+  | Zero -> 0
+  | TmpG _ -> 0
+
+(** [run w] replays the trace of [w] through the oracle scheduler. *)
+let run (w : Workloads.Wl.t) =
+  let mem, entry = Workloads.Wl.instantiate w in
+  let st = Machine.create () in
+  st.pc <- entry;
+  let it = Interp.create st mem in
+  let ready = Array.make Res.count 0 in
+  let mem_ready : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let horizon = ref 0 in
+  let word_keys addr bytes =
+    let first = addr / 4 and last = (addr + bytes - 1) / 4 in
+    if first = last then [ first ] else [ first; last ]
+  in
+  let schedule pc insn =
+    let { Crack.prims; control } = Crack.crack pc insn in
+    (* the instruction issues after all of its inputs *)
+    let t = ref 0 in
+    let dep r = t := max !t ready.(r) in
+    let dep_operand o = Option.iter dep (operand_res o) in
+    let writes = ref [] and mem_writes = ref [] in
+    List.iter
+      (fun prim ->
+        let sh = Crack.shape prim in
+        List.iter dep_operand sh.srcs_g;
+        List.iter
+          (fun (c : Crack.crf_operand) ->
+            match c with Crf f -> dep (Res.crf f) | TmpC _ -> ())
+          sh.srcs_c;
+        if sh.r_ca then dep Res.ca;
+        if sh.serial then dep Res.slow;
+        (match prim with
+        | Crack.PLoad { w; base; off; _ } ->
+          let o =
+            match off with Crack.OffImm i -> i | OffReg r -> operand_value st r
+          in
+          let addr = Interp.u32 (operand_value st base + o) in
+          List.iter
+            (fun k -> match Hashtbl.find_opt mem_ready k with
+              | Some c -> t := max !t c
+              | None -> ())
+            (word_keys addr (Mem.width_bytes w))
+        | Crack.PStore { w; base; off; _ } ->
+          let o =
+            match off with Crack.OffImm i -> i | OffReg r -> operand_value st r
+          in
+          let addr = Interp.u32 (operand_value st base + o) in
+          mem_writes := word_keys addr (Mem.width_bytes w) @ !mem_writes
+        | _ -> ());
+        (match sh.dst_g with
+        | Some o -> (match operand_res o with Some r -> writes := r :: !writes | None -> ())
+        | None -> ());
+        (match sh.dst_c with
+        | Some (Crack.Crf f) -> writes := Res.crf f :: !writes
+        | Some (TmpC _) | None -> ());
+        if sh.w_ca then writes := Res.ca :: !writes;
+        if sh.serial then writes := Res.slow :: !writes)
+      prims;
+    ignore control;
+    let c = !t + 1 in
+    List.iter (fun r -> ready.(r) <- c) !writes;
+    List.iter (fun k -> Hashtbl.replace mem_ready k c) !mem_writes;
+    if c > !horizon then horizon := c
+  in
+  it.trace <- Some schedule;
+  let _ = Interp.run it ~fuel:w.fuel in
+  { insns = it.icount;
+    cycles = max 1 !horizon;
+    ilp = float_of_int it.icount /. float_of_int (max 1 !horizon) }

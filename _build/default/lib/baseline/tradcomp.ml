@@ -1,0 +1,20 @@
+(* The "traditional VLIW compiler" comparison point of Table 5.2.
+
+   The paper compares DAISY to the Moon–Ebcioglu compiler: whole-program
+   scope, unbounded compile time, profile-directed feedback.  Our
+   stand-in drives the same scheduling engine with the throttles the
+   real-time constraint forces on DAISY removed: a whole-memory
+   "page", a several-times larger scheduling window, a generous
+   re-schedule budget, and real profiled branch probabilities instead
+   of static guesses. *)
+
+module Params = Translator.Params
+
+(** Parameters for the traditional-compiler run of workload [w]
+    (includes profile collection, i.e. a full interpreter pass). *)
+let params (w : Workloads.Wl.t) =
+  Params.traditional ~profile:(Profile.collect w) ()
+
+(** ILP of [w] under the traditional compiler (infinite cache). *)
+let run (w : Workloads.Wl.t) =
+  Vmm.Run.run ~params:(params w) w

@@ -1,0 +1,1 @@
+lib/memsys/hierarchy.ml: Cache List

@@ -1,0 +1,74 @@
+(* A set-associative cache model with LRU replacement.
+
+   Timing-only: it tracks tags, not data.  Geometry matches the paper's
+   Chapter 5 configurations (size, associativity, line size); accesses
+   report hit or miss and maintain the usual statistics. *)
+
+type t = {
+  name : string;
+  line : int;        (** line size, bytes (power of two) *)
+  assoc : int;
+  sets : int;
+  tags : int array;  (** sets * assoc entries; -1 = invalid *)
+  stamp : int array; (** LRU timestamps *)
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+(** [create ~name ~size ~assoc ~line] builds a cache of [size] bytes. *)
+let create ~name ~size ~assoc ~line =
+  let sets = size / (assoc * line) in
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: sets must be a positive power of two";
+  { name; line; assoc; sets; tags = Array.make (sets * assoc) (-1);
+    stamp = Array.make (sets * assoc) 0; tick = 0; accesses = 0; misses = 0 }
+
+let line_of t addr = addr / t.line
+
+(** [touch t addr] accesses the line containing [addr]; returns [true]
+    on hit.  On miss the line is filled, evicting the LRU way. *)
+let touch t addr =
+  t.accesses <- t.accesses + 1;
+  t.tick <- t.tick + 1;
+  let lineno = line_of t addr in
+  let set = lineno land (t.sets - 1) in
+  let base = set * t.assoc in
+  let rec find w =
+    if w >= t.assoc then None
+    else if t.tags.(base + w) = lineno then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    t.stamp.(base + w) <- t.tick;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    let victim = ref 0 in
+    for w = 1 to t.assoc - 1 do
+      if t.stamp.(base + w) < t.stamp.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- lineno;
+    t.stamp.(base + !victim) <- t.tick;
+    false
+
+(** Touch every line overlapped by [addr, addr+bytes); true if all hit. *)
+let touch_range t addr bytes =
+  let first = line_of t addr and last = line_of t (addr + bytes - 1) in
+  let hit = ref true in
+  for l = first to last do
+    if not (touch t (l * t.line)) then hit := false
+  done;
+  !hit
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.tick <- 0;
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,74 @@
+(* Multi-level cache hierarchies, as configured in Chapter 5.
+
+   An access probes the private (I- or D-side) levels and then the
+   shared levels; the first level that hits determines the latency in
+   cycles.  Latencies are totals per the paper's tables (L1 hits are
+   free, an L2 hit costs its listed latency, and a full miss costs the
+   main-memory latency). *)
+
+type level = { cache : Cache.t; latency : int }
+
+type t = {
+  name : string;
+  ipath : level list;
+  dpath : level list;
+  shared : level list;
+  mem_latency : int;
+}
+
+type kind = I | D
+
+(** [access t kind addr bytes] touches the hierarchy; returns
+    [(stall_cycles, l1_hit)]. *)
+let access t kind addr bytes =
+  let path = (match kind with I -> t.ipath | D -> t.dpath) @ t.shared in
+  let rec go = function
+    | [] -> t.mem_latency
+    | lvl :: rest ->
+      if Cache.touch_range lvl.cache addr bytes then lvl.latency else go rest
+  in
+  let stall = go path in
+  (stall, stall = 0)
+
+let reset t =
+  List.iter (fun l -> Cache.reset l.cache) (t.ipath @ t.dpath @ t.shared)
+
+(** The hierarchy used with the 24-issue machine (Tables 5.3/5.4,
+    Figure 5.2): 64K L1s with 256-byte lines, a 4M combined L2 at 12
+    cycles, 88-cycle memory. *)
+let paper_24issue () =
+  { name = "24-issue";
+    ipath =
+      [ { cache = Cache.create ~name:"L0I" ~size:(64 * 1024) ~assoc:1 ~line:256;
+          latency = 0 } ];
+    dpath =
+      [ { cache = Cache.create ~name:"L0D" ~size:(64 * 1024) ~assoc:4 ~line:256;
+          latency = 0 } ];
+    shared =
+      [ { cache = Cache.create ~name:"L1J" ~size:(4 * 1024 * 1024) ~assoc:4 ~line:256;
+          latency = 12 } ];
+    mem_latency = 88 }
+
+(** The hierarchy used with the 8-issue machine (Table 5.5): 4K L1s,
+    64K L2s, a 4M combined L3 at 16 cycles, 92-cycle memory. *)
+let paper_8issue () =
+  { name = "8-issue";
+    ipath =
+      [ { cache = Cache.create ~name:"L1I" ~size:(4 * 1024) ~assoc:1 ~line:64;
+          latency = 0 };
+        { cache = Cache.create ~name:"L2I" ~size:(64 * 1024) ~assoc:2 ~line:128;
+          latency = 4 } ];
+    dpath =
+      [ { cache = Cache.create ~name:"L1D" ~size:(4 * 1024) ~assoc:4 ~line:64;
+          latency = 0 };
+        { cache = Cache.create ~name:"L2D" ~size:(64 * 1024) ~assoc:4 ~line:128;
+          latency = 4 } ];
+    shared =
+      [ { cache = Cache.create ~name:"L3J" ~size:(4 * 1024 * 1024) ~assoc:4 ~line:256;
+          latency = 16 } ];
+    mem_latency = 92 }
+
+(** First-level caches, for the miss-rate figure. *)
+let l0i t = (List.hd t.ipath).cache
+let l0d t = (List.hd t.dpath).cache
+let joint t = (List.hd t.shared).cache

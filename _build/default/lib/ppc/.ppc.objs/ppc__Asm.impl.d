@@ -1,0 +1,1 @@
+lib/ppc/asm.ml: Bytes Hashtbl Insn Int32 List Mem

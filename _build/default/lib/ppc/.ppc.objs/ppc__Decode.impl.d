@@ -1,0 +1,1 @@
+lib/ppc/decode.ml: Insn Option

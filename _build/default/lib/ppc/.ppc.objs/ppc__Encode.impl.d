@@ -1,0 +1,1 @@
+lib/ppc/encode.ml: Insn

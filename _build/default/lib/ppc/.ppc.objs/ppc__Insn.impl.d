@@ -1,0 +1,1 @@
+lib/ppc/insn.ml: Format

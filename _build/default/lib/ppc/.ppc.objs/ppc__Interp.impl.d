@@ -1,0 +1,1 @@
+lib/ppc/interp.ml: Array Decode Hashtbl Insn Int64 Machine Mem

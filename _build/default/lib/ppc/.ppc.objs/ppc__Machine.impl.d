@@ -1,0 +1,1 @@
+lib/ppc/machine.ml: Array Format Insn

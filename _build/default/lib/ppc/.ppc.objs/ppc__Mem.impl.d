@@ -1,0 +1,1 @@
+lib/ppc/mem.ml: Buffer Bytes Char Encode Insn Int32 String

@@ -1,0 +1,210 @@
+(* A small two-pass assembler for the base architecture.
+
+   Workloads and the miniature base OS are written against this eDSL:
+   instructions are appended to a program, branch targets are symbolic
+   labels, and [assemble] resolves labels and writes the encoded binary
+   into simulated memory — after which everything downstream (the
+   interpreter, the DAISY translator) sees only 32-bit PowerPC words,
+   exactly as it would with a real binary. *)
+
+type labels = (string, int) Hashtbl.t
+
+type item =
+  | I of Insn.t
+  | Rel of (labels -> int -> Insn.t)
+      (** resolved after label layout; args = label table, own address *)
+  | Word of int
+  | Space of int
+  | Label of string
+  | Align of int
+  | Org of int
+
+type t = { mutable items : item list (* reversed *) }
+
+let create () = { items = [] }
+
+let push t it = t.items <- it :: t.items
+
+(** Emit a literal instruction. *)
+let ins t i = push t (I i)
+
+(** Define [name] at the current location. *)
+let label t name = push t (Label name)
+
+(** Move the location counter to the absolute address [addr]. *)
+let org t addr = push t (Org addr)
+
+(** Reserve [n] zero bytes. *)
+let space t n = push t (Space n)
+
+(** Emit a 32-bit data word. *)
+let word t v = push t (Word v)
+
+(** Align the location counter to a multiple of [n]. *)
+let align t n = push t (Align n)
+
+exception Unknown_label of string
+
+let items_in_order t = List.rev t.items
+
+let layout t =
+  let labels : labels = Hashtbl.create 64 in
+  let here = ref 0 in
+  let place = function
+    | I _ | Rel _ | Word _ -> here := !here + 4
+    | Space n -> here := !here + n
+    | Label name -> Hashtbl.replace labels name !here
+    | Align n -> here := (!here + n - 1) / n * n
+    | Org a -> here := a
+  in
+  List.iter place (items_in_order t);
+  labels
+
+(** [assemble t mem] lays the program out, resolves labels and writes
+    the binary into [mem]; returns the label table. *)
+let assemble t mem =
+  let labels = layout t in
+  let here = ref 0 in
+  let emit = function
+    | I i ->
+      Mem.store_insn mem !here i;
+      here := !here + 4
+    | Rel f ->
+      Mem.store_insn mem !here (f labels !here);
+      here := !here + 4
+    | Word v ->
+      Bytes.set_int32_be mem.Mem.bytes !here (Int32.of_int v);
+      here := !here + 4
+    | Space n -> here := !here + n
+    | Label _ -> ()
+    | Align n -> here := (!here + n - 1) / n * n
+    | Org a -> here := a
+  in
+  List.iter emit (items_in_order t);
+  labels
+
+let resolve labels name =
+  match Hashtbl.find_opt labels name with
+  | Some a -> a
+  | None -> raise (Unknown_label name)
+
+(* ------------------------------------------------------------------ *)
+(* Sugar: common instructions with symbolic targets.                   *)
+
+(** Conditions on a CR field, for branch sugar. *)
+type cond = Lt | Gt | Eq | Ge | Le | Ne
+
+let cond_bit : cond -> int = function
+  | Lt | Ge -> Insn.Crbit.lt
+  | Gt | Le -> Insn.Crbit.gt
+  | Eq | Ne -> Insn.Crbit.eq
+
+(* [Ge], [Le] and [Ne] branch when the corresponding bit is clear. *)
+let cond_sense : cond -> bool = function
+  | Lt | Gt | Eq -> true
+  | Ge | Le | Ne -> false
+
+let li t rt v = ins t (Addi (rt, 0, v))
+
+(** Load an arbitrary 32-bit constant (lis/ori pair, or one addi). *)
+let li32 t rt v =
+  let v = v land 0xFFFF_FFFF in
+  if v < 0x8000 then li t rt v
+  else if v >= 0xFFFF_8000 then li t rt (v - 0x1_0000_0000)
+  else begin
+    let hi = v lsr 16 in
+    let hi = if hi >= 0x8000 then hi - 0x1_0000 else hi in
+    ins t (Addis (rt, 0, hi));
+    if v land 0xFFFF <> 0 then ins t (Ori (rt, rt, v land 0xFFFF))
+  end
+
+(** Register move (or rs,rs). *)
+let mr t rt rs = ins t (X (Or_, rt, rs, rs, false))
+
+(** Load the address of a label (lis/ori or addi). *)
+let la t rt name =
+  (* reserve the two-word form so layout does not depend on the value *)
+  push t (Rel (fun ls _ ->
+      let v = resolve ls name in
+      let hi = v lsr 16 in
+      let hi = if hi >= 0x8000 then hi - 0x1_0000 else hi in
+      Insn.Addis (rt, 0, hi)));
+  push t (Rel (fun ls _ -> Insn.Ori (rt, rt, resolve ls name land 0xFFFF)))
+
+(** Unconditional branch to a label. *)
+let b t name =
+  push t (Rel (fun ls addr -> B (resolve ls name - addr, false, false)))
+
+(** Branch-and-link (call) to a label. *)
+let bl t name =
+  push t (Rel (fun ls addr -> B (resolve ls name - addr, false, true)))
+
+(** Conditional branch on [cond] of CR field [cr] (default 0).
+    [hint], when given, sets the static-prediction bit the paper's
+    translator honours: [true] predicts taken. *)
+let bc ?(cr = 0) ?hint t cond name =
+  let bi = Insn.Crbit.of_field cr (cond_bit cond) in
+  let bo = if cond_sense cond then Insn.Bo.if_true else Insn.Bo.if_false in
+  let bo = match hint with Some true -> bo lor 1 | _ -> bo in
+  push t (Rel (fun ls addr -> Bc (bo, bi, resolve ls name - addr, false, false)))
+
+(** Decrement CTR; branch if it is then non-zero. *)
+let bdnz t name =
+  push t (Rel (fun ls addr -> Bc (Insn.Bo.dnz, 0, resolve ls name - addr, false, false)))
+
+(** Return through the link register. *)
+let blr t = ins t (Bclr (Insn.Bo.always, 0, false))
+
+(** Indirect call through CTR. *)
+let bctrl t = ins t (Bcctr (Insn.Bo.always, 0, true))
+
+let bctr t = ins t (Bcctr (Insn.Bo.always, 0, false))
+
+let mflr t rt = ins t (Mfspr (rt, LR))
+let mtlr t rs = ins t (Mtspr (LR, rs))
+let mtctr t rs = ins t (Mtspr (CTR, rs))
+
+let cmpwi ?(cr = 0) t ra v = ins t (Cmpi (cr, ra, v))
+let cmplwi ?(cr = 0) t ra v = ins t (Cmpli (cr, ra, v))
+let cmpw ?(cr = 0) t ra rb = ins t (Cmp (cr, ra, rb))
+let cmplw ?(cr = 0) t ra rb = ins t (Cmpl (cr, ra, rb))
+
+let add t rt ra rb = ins t (Xo (Add, rt, ra, rb, false))
+let sub t rt ra rb = ins t (Xo (Subf, rt, rb, ra, false))  (* rt <- ra - rb *)
+let mullw t rt ra rb = ins t (Xo (Mullw, rt, ra, rb, false))
+let divw t rt ra rb = ins t (Xo (Divw, rt, ra, rb, false))
+let divwu t rt ra rb = ins t (Xo (Divwu, rt, ra, rb, false))
+let and_ t ra rs rb = ins t (X (And_, ra, rs, rb, false))
+let or_ t ra rs rb = ins t (X (Or_, ra, rs, rb, false))
+let xor t ra rs rb = ins t (X (Xor_, ra, rs, rb, false))
+let slw t ra rs rb = ins t (X (Slw, ra, rs, rb, false))
+let srw t ra rs rb = ins t (X (Srw, ra, rs, rb, false))
+
+(** Shift left immediate via rlwinm. *)
+let slwi t ra rs sh = ins t (Rlwinm (ra, rs, sh, 0, 31 - sh, false))
+
+(** Shift right (logical) immediate via rlwinm. *)
+let srwi t ra rs sh = ins t (Rlwinm (ra, rs, 32 - sh, sh, 31, false))
+
+let addi t rt ra v = ins t (Addi (rt, ra, v))
+let lwz t rt ra d = ins t (Load (Word, false, rt, ra, d))
+let lbz t rt ra d = ins t (Load (Byte, false, rt, ra, d))
+let lhz t rt ra d = ins t (Load (Half, false, rt, ra, d))
+let stw t rs ra d = ins t (Store (Word, rs, ra, d))
+let stb t rs ra d = ins t (Store (Byte, rs, ra, d))
+let sth t rs ra d = ins t (Store (Half, rs, ra, d))
+let lwzx t rt ra rb = ins t (Loadx (Word, false, rt, ra, rb))
+let lbzx t rt ra rb = ins t (Loadx (Byte, false, rt, ra, rb))
+let stwx t rs ra rb = ins t (Storex (Word, rs, ra, rb))
+let stbx t rs ra rb = ins t (Storex (Byte, rs, ra, rb))
+
+(** Store word to the HALT MMIO address: ends the program with the
+    value of [rs] as exit code. [scratch] is clobbered. *)
+let halt t ~scratch rs =
+  li32 t scratch Mem.mmio_halt;
+  stw t rs scratch 0
+
+(** Write the low byte of [rs] to the console MMIO address. *)
+let putchar t ~scratch rs =
+  li32 t scratch Mem.mmio_putchar;
+  stw t rs scratch 0

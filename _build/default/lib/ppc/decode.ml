@@ -1,0 +1,126 @@
+(* Decoding of 32-bit PowerPC words back into {!Insn.t}.
+
+   [decode] is total: words outside the implemented subset decode to
+   [None], which the interpreter and translator treat as an illegal
+   instruction (program interrupt). *)
+
+let bits w hi_width shift = (w lsr shift) land ((1 lsl hi_width) - 1)
+
+let sext v width =
+  let sign = 1 lsl (width - 1) in
+  (v land (sign - 1)) - (v land sign)
+
+let opcd w = bits w 6 26
+let rt w = bits w 5 21
+let ra w = bits w 5 16
+let rb w = bits w 5 11
+let d_imm w = w land 0xFFFF
+let d_simm w = sext (d_imm w) 16
+let xo10 w = bits w 10 1
+let xo9 w = bits w 9 1
+let rc w = w land 1 <> 0
+let lk = rc
+
+let spr_of w =
+  (* two swapped 5-bit halves *)
+  Insn.spr_of_num ((bits w 5 16) lor (bits w 5 11 lsl 5))
+
+let decode_31 w : Insn.t option =
+  let rt = rt w and ra = ra w and rb = rb w and rc = rc w in
+  match xo10 w with
+  | 0 when not rc -> Some (Cmp (rt lsr 2, ra, rb))
+  | 32 when not rc -> Some (Cmpl (rt lsr 2, ra, rb))
+  | 28 -> Some (X (And_, ra, rt, rb, rc))
+  | 444 -> Some (X (Or_, ra, rt, rb, rc))
+  | 316 -> Some (X (Xor_, ra, rt, rb, rc))
+  | 476 -> Some (X (Nand, ra, rt, rb, rc))
+  | 124 -> Some (X (Nor, ra, rt, rb, rc))
+  | 60 -> Some (X (Andc, ra, rt, rb, rc))
+  | 284 -> Some (X (Eqv, ra, rt, rb, rc))
+  | 24 -> Some (X (Slw, ra, rt, rb, rc))
+  | 536 -> Some (X (Srw, ra, rt, rb, rc))
+  | 792 -> Some (X (Sraw, ra, rt, rb, rc))
+  | 824 -> Some (Srawi (ra, rt, rb, rc))
+  | 26 -> Some (X1 (Cntlzw, ra, rt, rc))
+  | 954 -> Some (X1 (Extsb, ra, rt, rc))
+  | 922 -> Some (X1 (Extsh, ra, rt, rc))
+  | 23 -> Some (Loadx (Word, false, rt, ra, rb))
+  | 87 -> Some (Loadx (Byte, false, rt, ra, rb))
+  | 279 -> Some (Loadx (Half, false, rt, ra, rb))
+  | 343 -> Some (Loadx (Half, true, rt, ra, rb))
+  | 151 -> Some (Storex (Word, rt, ra, rb))
+  | 215 -> Some (Storex (Byte, rt, ra, rb))
+  | 407 -> Some (Storex (Half, rt, ra, rb))
+  | 19 when not rc -> Some (Mfcr rt)
+  | 144 when not rc -> Some (Mtcrf (bits w 8 12, rt))
+  | 339 -> Option.map (fun s -> Insn.Mfspr (rt, s)) (spr_of w)
+  | 467 -> Option.map (fun s -> Insn.Mtspr (s, rt)) (spr_of w)
+  | 83 when not rc -> Some (Mfmsr rt)
+  | 146 when not rc -> Some (Mtmsr rt)
+  | _ -> (
+    match xo9 w with
+    | 266 -> Some (Xo (Add, rt, ra, rb, rc))
+    | 10 -> Some (Xo (Addc, rt, ra, rb, rc))
+    | 138 -> Some (Xo (Adde, rt, ra, rb, rc))
+    | 40 -> Some (Xo (Subf, rt, ra, rb, rc))
+    | 8 -> Some (Xo (Subfc, rt, ra, rb, rc))
+    | 235 -> Some (Xo (Mullw, rt, ra, rb, rc))
+    | 75 -> Some (Xo (Mulhw, rt, ra, rb, rc))
+    | 11 -> Some (Xo (Mulhwu, rt, ra, rb, rc))
+    | 491 -> Some (Xo (Divw, rt, ra, rb, rc))
+    | 459 -> Some (Xo (Divwu, rt, ra, rb, rc))
+    | 104 -> Some (Xo (Neg, rt, ra, rb, rc))
+    | _ -> None)
+
+let decode_19 w : Insn.t option =
+  let bt = rt w and ba = ra w and bb = rb w in
+  match xo10 w with
+  | 16 -> Some (Bclr (bt, ba, lk w))
+  | 528 -> Some (Bcctr (bt, ba, lk w))
+  | 50 -> Some Rfi
+  | 150 -> Some Isync
+  | 0 -> Some (Mcrf (bt lsr 2, ba lsr 2))
+  | 257 -> Some (Crop (Crand, bt, ba, bb))
+  | 449 -> Some (Crop (Cror, bt, ba, bb))
+  | 193 -> Some (Crop (Crxor, bt, ba, bb))
+  | 225 -> Some (Crop (Crnand, bt, ba, bb))
+  | 33 -> Some (Crop (Crnor, bt, ba, bb))
+  | 129 -> Some (Crop (Crandc, bt, ba, bb))
+  | 289 -> Some (Crop (Creqv, bt, ba, bb))
+  | 417 -> Some (Crop (Crorc, bt, ba, bb))
+  | _ -> None
+
+(** [decode w] is the instruction encoded by the 32-bit word [w], or
+    [None] if [w] is outside the implemented subset. *)
+let decode (w : int) : Insn.t option =
+  match opcd w with
+  | 14 -> Some (Addi (rt w, ra w, d_simm w))
+  | 15 -> Some (Addis (rt w, ra w, d_simm w))
+  | 12 -> Some (Addic (rt w, ra w, d_simm w))
+  | 7 -> Some (Mulli (rt w, ra w, d_simm w))
+  | 11 -> Some (Cmpi (rt w lsr 2, ra w, d_simm w))
+  | 10 -> Some (Cmpli (rt w lsr 2, ra w, d_imm w))
+  | 28 -> Some (Andi (rt w, ra w, d_imm w))
+  | 24 -> Some (Ori (rt w, ra w, d_imm w))
+  | 25 -> Some (Oris (rt w, ra w, d_imm w))
+  | 26 -> Some (Xori (rt w, ra w, d_imm w))
+  | 32 -> Some (Load (Word, false, rt w, ra w, d_simm w))
+  | 34 -> Some (Load (Byte, false, rt w, ra w, d_simm w))
+  | 40 -> Some (Load (Half, false, rt w, ra w, d_simm w))
+  | 42 -> Some (Load (Half, true, rt w, ra w, d_simm w))
+  | 36 -> Some (Store (Word, rt w, ra w, d_simm w))
+  | 38 -> Some (Store (Byte, rt w, ra w, d_simm w))
+  | 44 -> Some (Store (Half, rt w, ra w, d_simm w))
+  | 33 -> Some (Lwzu (rt w, ra w, d_simm w))
+  | 37 -> Some (Stwu (rt w, ra w, d_simm w))
+  | 46 -> Some (Lmw (rt w, ra w, d_simm w))
+  | 47 -> Some (Stmw (rt w, ra w, d_simm w))
+  | 18 -> Some (B (sext (bits w 24 2) 24 lsl 2, bits w 1 1 <> 0, lk w))
+  | 16 ->
+    Some
+      (Bc (rt w, ra w, sext (bits w 14 2) 14 lsl 2, bits w 1 1 <> 0, lk w))
+  | 17 when w land 2 <> 0 -> Some Sc
+  | 21 -> Some (Rlwinm (ra w, rt w, rb w, bits w 5 6, bits w 5 1, rc w))
+  | 19 -> decode_19 w
+  | 31 -> decode_31 w
+  | _ -> None

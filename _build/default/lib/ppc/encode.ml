@@ -1,0 +1,153 @@
+(* Bit-exact encoding of the {!Insn} subset into 32-bit PowerPC words.
+
+   PowerPC numbers bits 0 (most significant) .. 31 (least significant);
+   we build words as OCaml ints masked to 32 bits. *)
+
+let mask32 = 0xFFFF_FFFF
+
+(** [field v width shift] places the low [width] bits of [v] so that the
+    field's least-significant bit lands at bit position [shift] counted
+    from the least-significant end of the word. *)
+let field v width shift = (v land ((1 lsl width) - 1)) lsl shift
+
+let opcd op = field op 6 26
+
+let d_form op rt ra imm = opcd op lor field rt 5 21 lor field ra 5 16 lor field imm 16 0
+
+let x_form rt ra rb xo rc =
+  opcd 31 lor field rt 5 21 lor field ra 5 16 lor field rb 5 11
+  lor field xo 10 1
+  lor if rc then 1 else 0
+
+let xo_form rt ra rb xo rc =
+  opcd 31 lor field rt 5 21 lor field ra 5 16 lor field rb 5 11
+  lor field xo 9 1
+  lor if rc then 1 else 0
+
+let xl_form op bt ba bb xo lk =
+  opcd op lor field bt 5 21 lor field ba 5 16 lor field bb 5 11
+  lor field xo 10 1
+  lor if lk then 1 else 0
+
+let m_form rs ra sh mb me rc =
+  opcd 21 lor field rs 5 21 lor field ra 5 16 lor field sh 5 11
+  lor field mb 5 6 lor field me 5 1
+  lor if rc then 1 else 0
+
+let spr_field spr =
+  let n = Insn.spr_num spr in
+  (* the 10-bit SPR field has its two 5-bit halves swapped *)
+  field (n land 0x1F) 5 16 lor field (n lsr 5) 5 11
+
+let xo_op_code : Insn.xo_op -> int = function
+  | Add -> 266
+  | Addc -> 10
+  | Adde -> 138
+  | Subf -> 40
+  | Subfc -> 8
+  | Mullw -> 235
+  | Mulhw -> 75
+  | Mulhwu -> 11
+  | Divw -> 491
+  | Divwu -> 459
+  | Neg -> 104
+
+let x_op_code : Insn.x_op -> int = function
+  | And_ -> 28
+  | Or_ -> 444
+  | Xor_ -> 316
+  | Nand -> 476
+  | Nor -> 124
+  | Andc -> 60
+  | Eqv -> 284
+  | Slw -> 24
+  | Srw -> 536
+  | Sraw -> 792
+
+let x1_op_code : Insn.x1_op -> int = function
+  | Cntlzw -> 26
+  | Extsb -> 954
+  | Extsh -> 922
+
+let cr_op_code : Insn.cr_op -> int = function
+  | Crand -> 257
+  | Cror -> 449
+  | Crxor -> 193
+  | Crnand -> 225
+  | Crnor -> 33
+  | Crandc -> 129
+  | Creqv -> 289
+  | Crorc -> 417
+
+let load_opcd : Insn.width -> bool -> int = function
+  | Word -> fun _ -> 32
+  | Byte -> fun _ -> 34
+  | Half -> fun alg -> if alg then 42 else 40
+
+let store_opcd : Insn.width -> int = function Word -> 36 | Byte -> 38 | Half -> 44
+
+let loadx_code : Insn.width -> bool -> int = function
+  | Word -> fun _ -> 23
+  | Byte -> fun _ -> 87
+  | Half -> fun alg -> if alg then 343 else 279
+
+let storex_code : Insn.width -> int = function
+  | Word -> 151
+  | Byte -> 215
+  | Half -> 407
+
+(** [encode insn] is the 32-bit instruction word for [insn]. *)
+let encode (insn : Insn.t) : int =
+  let w =
+    match insn with
+    | Insn.Addi (rt, ra, si) -> d_form 14 rt ra si
+    | Addis (rt, ra, si) -> d_form 15 rt ra si
+    | Addic (rt, ra, si) -> d_form 12 rt ra si
+    | Mulli (rt, ra, si) -> d_form 7 rt ra si
+    | Cmpi (bf, ra, si) -> d_form 11 (bf lsl 2) ra si
+    | Cmpli (bf, ra, ui) -> d_form 10 (bf lsl 2) ra ui
+    | Andi (rs, ra, ui) -> d_form 28 rs ra ui
+    | Ori (rs, ra, ui) -> d_form 24 rs ra ui
+    | Oris (rs, ra, ui) -> d_form 25 rs ra ui
+    | Xori (rs, ra, ui) -> d_form 26 rs ra ui
+    | Xo (op, rt, ra, rb, rc) -> xo_form rt ra rb (xo_op_code op) rc
+    | X (op, ra, rs, rb, rc) -> x_form rs ra rb (x_op_code op) rc
+    | X1 (op, ra, rs, rc) -> x_form rs ra 0 (x1_op_code op) rc
+    | Srawi (ra, rs, sh, rc) -> x_form rs ra sh 824 rc
+    | Cmp (bf, ra, rb) -> x_form (bf lsl 2) ra rb 0 false
+    | Cmpl (bf, ra, rb) -> x_form (bf lsl 2) ra rb 32 false
+    | Rlwinm (ra, rs, sh, mb, me, rc) -> m_form rs ra sh mb me rc
+    | Load (w, alg, rt, ra, d) -> d_form (load_opcd w alg) rt ra d
+    | Store (w, rs, ra, d) -> d_form (store_opcd w) rs ra d
+    | Loadx (w, alg, rt, ra, rb) -> x_form rt ra rb (loadx_code w alg) false
+    | Storex (w, rs, ra, rb) -> x_form rs ra rb (storex_code w) false
+    | Lwzu (rt, ra, d) -> d_form 33 rt ra d
+    | Stwu (rs, ra, d) -> d_form 37 rs ra d
+    | Lmw (rt, ra, d) -> d_form 46 rt ra d
+    | Stmw (rs, ra, d) -> d_form 47 rs ra d
+    | B (li, aa, lk) ->
+      opcd 18
+      lor field (li asr 2) 24 2
+      lor (if aa then 2 else 0)
+      lor if lk then 1 else 0
+    | Bc (bo, bi, bd, aa, lk) ->
+      opcd 16 lor field bo 5 21 lor field bi 5 16
+      lor field (bd asr 2) 14 2
+      lor (if aa then 2 else 0)
+      lor if lk then 1 else 0
+    | Bclr (bo, bi, lk) -> xl_form 19 bo bi 0 16 lk
+    | Bcctr (bo, bi, lk) -> xl_form 19 bo bi 0 528 lk
+    | Crop (op, bt, ba, bb) -> xl_form 19 bt ba bb (cr_op_code op) false
+    | Mcrf (bf, bfa) -> xl_form 19 (bf lsl 2) (bfa lsl 2) 0 0 false
+    | Mfcr rt -> x_form rt 0 0 19 false
+    | Mtcrf (fxm, rs) ->
+      opcd 31 lor field rs 5 21 lor field fxm 8 12 lor field 144 10 1
+    | Mfspr (rt, spr) -> opcd 31 lor field rt 5 21 lor spr_field spr lor field 339 10 1
+    | Mtspr (spr, rs) -> opcd 31 lor field rs 5 21 lor spr_field spr lor field 467 10 1
+    | Mfmsr rt -> x_form rt 0 0 83 false
+    | Mtmsr rs -> x_form rs 0 0 146 false
+    | Sc -> opcd 17 lor 2
+    | Rfi -> xl_form 19 0 0 0 50 false
+    | Isync -> xl_form 19 0 0 0 150 false
+  in
+  w land mask32

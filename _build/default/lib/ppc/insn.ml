@@ -1,0 +1,284 @@
+(* Instruction set of the base architecture: a 32-bit big-endian PowerPC
+   subset, rich enough to compile real integer workloads and to exercise
+   every mechanism DAISY needs (condition-register fields, LR/CTR indirect
+   branches, carry/overflow bits, load/store-multiple CISC decomposition,
+   privileged state and rfi).
+
+   Instructions are kept in a structured form; {!Encode} and {!Decode} map
+   them to and from the architected 32-bit words (I, B, D, X, XO, XL, XFX
+   and M forms), so that translated programs live in simulated memory
+   exactly as a real PowerPC binary would. *)
+
+(** General purpose register number, 0..31. *)
+type gpr = int
+
+(** Condition register field, 0..7. Each field holds 4 bits: LT GT EQ SO. *)
+type crf = int
+
+(** Condition register bit, 0..31; bit [4*f + b] is bit [b] of field [f]. *)
+type crb = int
+
+(** Special purpose registers we architect. *)
+type spr =
+  | XER   (** carry / overflow / summary-overflow bits *)
+  | LR    (** link register *)
+  | CTR   (** count register *)
+  | SRR0  (** save-restore register 0: interrupted address *)
+  | SRR1  (** save-restore register 1: saved MSR *)
+  | DAR   (** data address register: faulting data address *)
+  | DSISR (** data storage interrupt status *)
+  | SPRG0 (** scratch for the base OS *)
+  | SPRG1
+
+(** Three-register integer operations (XO-form, opcode 31). *)
+type xo_op =
+  | Add
+  | Addc   (** add carrying: also sets XER.CA *)
+  | Adde   (** add extended: adds XER.CA, sets XER.CA *)
+  | Subf   (** subtract from: rt <- rb - ra *)
+  | Subfc  (** subtract from carrying *)
+  | Mullw
+  | Mulhw
+  | Mulhwu
+  | Divw
+  | Divwu
+  | Neg    (** rt <- -ra (rb ignored) *)
+
+(** Two-source logical / shift operations (X-form, opcode 31). *)
+type x_op =
+  | And_
+  | Or_
+  | Xor_
+  | Nand
+  | Nor
+  | Andc
+  | Eqv
+  | Slw
+  | Srw
+  | Sraw  (** arithmetic shift right: sets XER.CA *)
+
+(** Single-source register operations (X-form). *)
+type x1_op =
+  | Cntlzw
+  | Extsb
+  | Extsh
+
+(** Memory access width. *)
+type width = Byte | Half | Word
+
+(** CR-bit logical operations (XL-form, opcode 19). *)
+type cr_op = Crand | Cror | Crxor | Crnand | Crnor | Crandc | Creqv | Crorc
+
+type insn =
+  (* D-form immediates *)
+  | Addi of gpr * gpr * int      (** rt, ra, simm16.  ra = 0 means literal. *)
+  | Addis of gpr * gpr * int     (** rt, ra, simm16 << 16 *)
+  | Addic of gpr * gpr * int     (** like addi but sets XER.CA *)
+  | Mulli of gpr * gpr * int
+  | Cmpi of crf * gpr * int      (** signed compare immediate *)
+  | Cmpli of crf * gpr * int     (** unsigned compare immediate *)
+  | Andi of gpr * gpr * int      (** rs, ra; andi. always sets CR0 *)
+  | Ori of gpr * gpr * int
+  | Xori of gpr * gpr * int
+  | Oris of gpr * gpr * int
+  (* register-register integer *)
+  | Xo of xo_op * gpr * gpr * gpr * bool      (** op, rt, ra, rb, rc *)
+  | X of x_op * gpr * gpr * gpr * bool        (** op, ra(dst), rs, rb, rc *)
+  | X1 of x1_op * gpr * gpr * bool            (** op, ra(dst), rs, rc *)
+  | Srawi of gpr * gpr * int * bool           (** ra(dst), rs, sh, rc *)
+  | Cmp of crf * gpr * gpr
+  | Cmpl of crf * gpr * gpr
+  | Rlwinm of gpr * gpr * int * int * int * bool
+      (** ra(dst), rs, sh, mb, me, rc: rotate-left word then AND with mask *)
+  (* memory *)
+  | Load of width * bool * gpr * gpr * int
+      (** width, algebraic(sign-extend), rt, ra, disp. [ra]=0 means base 0. *)
+  | Store of width * gpr * gpr * int          (** width, rs, ra, disp *)
+  | Loadx of width * bool * gpr * gpr * gpr   (** indexed form *)
+  | Storex of width * gpr * gpr * gpr
+  | Lwzu of gpr * gpr * int                   (** load word with update *)
+  | Stwu of gpr * gpr * int                   (** store word with update *)
+  | Lmw of gpr * gpr * int                    (** load multiple: rt..r31 *)
+  | Stmw of gpr * gpr * int                   (** store multiple: rs..r31 *)
+  (* branches *)
+  | B of int * bool * bool                    (** LI (byte offset), AA, LK *)
+  | Bc of int * int * int * bool * bool       (** BO, BI, BD, AA, LK *)
+  | Bclr of int * int * bool                  (** BO, BI, LK: branch to LR *)
+  | Bcctr of int * int * bool                 (** BO, BI, LK: branch to CTR *)
+  (* condition register *)
+  | Crop of cr_op * crb * crb * crb           (** op, bt, ba, bb *)
+  | Mcrf of crf * crf                         (** dst field <- src field *)
+  | Mfcr of gpr
+  | Mtcrf of int * gpr                        (** 8-bit field mask, rs *)
+  (* special registers *)
+  | Mfspr of gpr * spr
+  | Mtspr of spr * gpr
+  | Mfmsr of gpr
+  | Mtmsr of gpr
+  (* system *)
+  | Sc                                        (** system call *)
+  | Rfi                                       (** return from interrupt *)
+  | Isync                                     (** context sync / icbi stand-in *)
+
+type t = insn
+
+let spr_num = function
+  | XER -> 1
+  | LR -> 8
+  | CTR -> 9
+  | DSISR -> 18
+  | DAR -> 19
+  | SRR0 -> 26
+  | SRR1 -> 27
+  | SPRG0 -> 272
+  | SPRG1 -> 273
+
+let spr_of_num = function
+  | 1 -> Some XER
+  | 8 -> Some LR
+  | 9 -> Some CTR
+  | 18 -> Some DSISR
+  | 19 -> Some DAR
+  | 26 -> Some SRR0
+  | 27 -> Some SRR1
+  | 272 -> Some SPRG0
+  | 273 -> Some SPRG1
+  | _ -> None
+
+let spr_name = function
+  | XER -> "xer"
+  | LR -> "lr"
+  | CTR -> "ctr"
+  | SRR0 -> "srr0"
+  | SRR1 -> "srr1"
+  | DAR -> "dar"
+  | DSISR -> "dsisr"
+  | SPRG0 -> "sprg0"
+  | SPRG1 -> "sprg1"
+
+let xo_name = function
+  | Add -> "add"
+  | Addc -> "addc"
+  | Adde -> "adde"
+  | Subf -> "subf"
+  | Subfc -> "subfc"
+  | Mullw -> "mullw"
+  | Mulhw -> "mulhw"
+  | Mulhwu -> "mulhwu"
+  | Divw -> "divw"
+  | Divwu -> "divwu"
+  | Neg -> "neg"
+
+let x_name = function
+  | And_ -> "and"
+  | Or_ -> "or"
+  | Xor_ -> "xor"
+  | Nand -> "nand"
+  | Nor -> "nor"
+  | Andc -> "andc"
+  | Eqv -> "eqv"
+  | Slw -> "slw"
+  | Srw -> "srw"
+  | Sraw -> "sraw"
+
+let x1_name = function Cntlzw -> "cntlzw" | Extsb -> "extsb" | Extsh -> "extsh"
+
+let cr_op_name = function
+  | Crand -> "crand"
+  | Cror -> "cror"
+  | Crxor -> "crxor"
+  | Crnand -> "crnand"
+  | Crnor -> "crnor"
+  | Crandc -> "crandc"
+  | Creqv -> "creqv"
+  | Crorc -> "crorc"
+
+let width_letter = function Byte -> 'b' | Half -> 'h' | Word -> 'w'
+
+let rc_dot rc = if rc then "." else ""
+
+(** [pp ppf insn] prints [insn] in a conventional assembly syntax. *)
+let pp ppf insn =
+  let f fmt = Format.fprintf ppf fmt in
+  match insn with
+  | Addi (rt, ra, si) ->
+    if ra = 0 then f "li r%d,%d" rt si else f "addi r%d,r%d,%d" rt ra si
+  | Addis (rt, ra, si) -> f "addis r%d,r%d,%d" rt ra si
+  | Addic (rt, ra, si) -> f "addic r%d,r%d,%d" rt ra si
+  | Mulli (rt, ra, si) -> f "mulli r%d,r%d,%d" rt ra si
+  | Cmpi (bf, ra, si) -> f "cmpwi cr%d,r%d,%d" bf ra si
+  | Cmpli (bf, ra, ui) -> f "cmplwi cr%d,r%d,%d" bf ra ui
+  | Andi (rs, ra, ui) -> f "andi. r%d,r%d,%d" ra rs ui
+  | Ori (rs, ra, ui) -> f "ori r%d,r%d,%d" ra rs ui
+  | Xori (rs, ra, ui) -> f "xori r%d,r%d,%d" ra rs ui
+  | Oris (rs, ra, ui) -> f "oris r%d,r%d,%d" ra rs ui
+  | Xo (op, rt, ra, rb, rc) ->
+    if op = Neg then f "neg%s r%d,r%d" (rc_dot rc) rt ra
+    else f "%s%s r%d,r%d,r%d" (xo_name op) (rc_dot rc) rt ra rb
+  | X (op, ra, rs, rb, rc) ->
+    f "%s%s r%d,r%d,r%d" (x_name op) (rc_dot rc) ra rs rb
+  | X1 (op, ra, rs, rc) -> f "%s%s r%d,r%d" (x1_name op) (rc_dot rc) ra rs
+  | Srawi (ra, rs, sh, rc) -> f "srawi%s r%d,r%d,%d" (rc_dot rc) ra rs sh
+  | Cmp (bf, ra, rb) -> f "cmpw cr%d,r%d,r%d" bf ra rb
+  | Cmpl (bf, ra, rb) -> f "cmplw cr%d,r%d,r%d" bf ra rb
+  | Rlwinm (ra, rs, sh, mb, me, rc) ->
+    f "rlwinm%s r%d,r%d,%d,%d,%d" (rc_dot rc) ra rs sh mb me
+  | Load (w, alg, rt, ra, d) ->
+    f "l%c%s r%d,%d(r%d)" (width_letter w) (if alg then "a" else "z") rt d ra
+  | Store (w, rs, ra, d) -> f "st%c r%d,%d(r%d)" (width_letter w) rs d ra
+  | Loadx (w, alg, rt, ra, rb) ->
+    f "l%c%sx r%d,r%d,r%d" (width_letter w) (if alg then "a" else "z") rt ra rb
+  | Storex (w, rs, ra, rb) ->
+    f "st%cx r%d,r%d,r%d" (width_letter w) rs ra rb
+  | Lwzu (rt, ra, d) -> f "lwzu r%d,%d(r%d)" rt d ra
+  | Stwu (rs, ra, d) -> f "stwu r%d,%d(r%d)" rs d ra
+  | Lmw (rt, ra, d) -> f "lmw r%d,%d(r%d)" rt d ra
+  | Stmw (rs, ra, d) -> f "stmw r%d,%d(r%d)" rs d ra
+  | B (li, aa, lk) ->
+    f "b%s%s 0x%x" (if lk then "l" else "") (if aa then "a" else "") li
+  | Bc (bo, bi, bd, aa, lk) ->
+    f "bc%s%s %d,%d,0x%x" (if lk then "l" else "") (if aa then "a" else "") bo
+      bi bd
+  | Bclr (bo, bi, lk) -> f "bclr%s %d,%d" (if lk then "l" else "") bo bi
+  | Bcctr (bo, bi, lk) -> f "bcctr%s %d,%d" (if lk then "l" else "") bo bi
+  | Crop (op, bt, ba, bb) -> f "%s %d,%d,%d" (cr_op_name op) bt ba bb
+  | Mcrf (bf, bfa) -> f "mcrf cr%d,cr%d" bf bfa
+  | Mfcr rt -> f "mfcr r%d" rt
+  | Mtcrf (fxm, rs) -> f "mtcrf 0x%x,r%d" fxm rs
+  | Mfspr (rt, spr) -> f "mf%s r%d" (spr_name spr) rt
+  | Mtspr (spr, rs) -> f "mt%s r%d" (spr_name spr) rs
+  | Mfmsr rt -> f "mfmsr r%d" rt
+  | Mtmsr rs -> f "mtmsr r%d" rs
+  | Sc -> f "sc"
+  | Rfi -> f "rfi"
+  | Isync -> f "isync"
+
+let to_string insn = Format.asprintf "%a" pp insn
+
+(** Branch-option field helpers (PowerPC BO encoding, bits numbered from
+    the most significant of the 5-bit field). *)
+module Bo = struct
+  let always = 0b10100
+  let if_true = 0b01100   (* branch if CR bit set *)
+  let if_false = 0b00100  (* branch if CR bit clear *)
+  let dnz = 0b10000       (* decrement CTR, branch if CTR <> 0 *)
+  let dz = 0b10010        (* decrement CTR, branch if CTR = 0 *)
+
+  let ignores_cond bo = bo land 0b10000 <> 0
+  let cond_sense bo = bo land 0b01000 <> 0
+  let no_ctr_dec bo = bo land 0b00100 <> 0
+  let ctr_zero_sense bo = bo land 0b00010 <> 0
+
+  (** The static-prediction hint bit ('y' bit). *)
+  let hint bo = bo land 0b00001 <> 0
+end
+
+(** CR bit indices within a field. *)
+module Crbit = struct
+  let lt = 0
+  let gt = 1
+  let eq = 2
+  let so = 3
+
+  let of_field crf bit = (4 * crf) + bit
+end

@@ -1,0 +1,306 @@
+(* Reference interpreter for the base architecture.
+
+   This is the golden model: DAISY-translated execution must be
+   observationally identical to it.  It is also reused by the VMM for
+   the brief interpretation episodes the paper prescribes (after [rfi],
+   and when recovering from an exception or a load/store alias inside a
+   VLIW group).
+
+   Interrupts are delivered exactly as the architecture specifies:
+   SRR0/SRR1 capture the return point and MSR, and control transfers to
+   the architected vector, where the miniature base OS resides. *)
+
+let mask32 = 0xFFFF_FFFF
+
+(** Sign-extend a 32-bit value to a native int. *)
+let s32 v = if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let u32 v = v land mask32
+
+module Vector = struct
+  let dsi = 0x300      (* data storage interrupt *)
+  let isi = 0x400      (* instruction storage interrupt *)
+  let external_ = 0x500
+  let program = 0x700  (* illegal / privileged instruction *)
+  let syscall = 0xC00
+end
+
+type t = {
+  st : Machine.t;
+  mem : Mem.t;
+  mutable icount : int;          (** dynamic base instructions executed *)
+  mutable touched : (int, unit) Hashtbl.t;
+      (** static instruction addresses executed at least once (reuse factor) *)
+  mutable trace : (int -> Insn.t -> unit) option;
+}
+
+let create st mem = { st; mem; icount = 0; touched = Hashtbl.create 1024; trace = None }
+
+(** Number of distinct static instruction words executed. *)
+let static_touched t = Hashtbl.length t.touched
+
+let interrupt (st : Machine.t) ~return_pc vector =
+  st.srr0 <- return_pc;
+  st.srr1 <- st.msr;
+  st.msr <- st.msr land lnot (Machine.Msr.ee lor Machine.Msr.pr);
+  st.pc <- vector
+
+(** Deliver an external interrupt (between instructions). *)
+let deliver_external (st : Machine.t) =
+  interrupt st ~return_pc:st.pc Vector.external_
+
+let record_cmp (st : Machine.t) bf lt gt =
+  let eq = (not lt) && not gt in
+  let v =
+    (if lt then 8 else 0) lor (if gt then 4 else 0)
+    lor (if eq then 2 else 0)
+    lor if st.xer_so then 1 else 0
+  in
+  Machine.set_crf st bf v
+
+let record_rc st result = record_cmp st 0 (s32 result < 0) (s32 result > 0)
+
+let cmp_s st bf a b = record_cmp st bf (s32 a < s32 b) (s32 a > s32 b)
+let cmp_u st bf a b = record_cmp st bf (a < b) (a > b)
+
+(** Mask with ones in big-endian bit positions [lo..hi]. *)
+let range_mask lo hi =
+  let rec go i acc = if i > hi then acc else go (i + 1) (acc lor (1 lsl (31 - i))) in
+  go lo 0
+
+(** rlwinm mask from mb to me in big-endian bit numbering; [mb > me]
+    denotes the wrap-around mask. *)
+let mask_mb_me mb me =
+  if mb <= me then range_mask mb me
+  else mask32 land lnot (range_mask (me + 1) (mb - 1))
+
+let rotl32 v n = u32 ((v lsl n) lor (v lsr (32 - n)))
+
+let alu_xo (st : Machine.t) (op : Insn.xo_op) a b =
+  match op with
+  | Add -> u32 (a + b)
+  | Addc ->
+    let r = a + b in
+    st.xer_ca <- r > mask32;
+    u32 r
+  | Adde ->
+    let r = a + b + if st.xer_ca then 1 else 0 in
+    st.xer_ca <- r > mask32;
+    u32 r
+  | Subf -> u32 (b - a)
+  | Subfc ->
+    let r = b - a in
+    st.xer_ca <- b >= a;
+    u32 r
+  | Mullw -> u32 (s32 a * s32 b)
+  | Mulhw ->
+    let p = Int64.mul (Int64.of_int (s32 a)) (Int64.of_int (s32 b)) in
+    u32 (Int64.to_int (Int64.shift_right p 32))
+  | Mulhwu ->
+    let p = Int64.mul (Int64.of_int a) (Int64.of_int b) in
+    u32 (Int64.to_int (Int64.shift_right_logical p 32))
+  | Divw -> if s32 b = 0 then 0 else u32 (s32 a / s32 b)
+  | Divwu -> if b = 0 then 0 else a / b
+  | Neg -> u32 (- (s32 a))
+
+let alu_x (st : Machine.t) (op : Insn.x_op) s b =
+  match op with
+  | And_ -> s land b
+  | Or_ -> s lor b
+  | Xor_ -> s lxor b
+  | Nand -> u32 (lnot (s land b))
+  | Nor -> u32 (lnot (s lor b))
+  | Andc -> s land u32 (lnot b)
+  | Eqv -> u32 (lnot (s lxor b))
+  | Slw ->
+    let n = b land 0x3F in
+    if n >= 32 then 0 else u32 (s lsl n)
+  | Srw ->
+    let n = b land 0x3F in
+    if n >= 32 then 0 else s lsr n
+  | Sraw ->
+    let n = b land 0x3F in
+    if n >= 32 then (
+      st.xer_ca <- s land 0x8000_0000 <> 0 && s <> 0;
+      if s land 0x8000_0000 <> 0 then mask32 else 0)
+    else (
+      let lost = s land ((1 lsl n) - 1) in
+      st.xer_ca <- s land 0x8000_0000 <> 0 && lost <> 0;
+      u32 (s32 s asr n))
+
+let alu_x1 (op : Insn.x1_op) s =
+  match op with
+  | Cntlzw ->
+    let rec go i = if i >= 32 then 32 else if s land (1 lsl (31 - i)) <> 0 then i else go (i + 1) in
+    go 0
+  | Extsb -> u32 (s32 ((s land 0xFF) lsl 24) asr 24)
+  | Extsh -> u32 (s32 ((s land 0xFFFF) lsl 16) asr 16)
+
+(** [bc_taken st bo bi] decides a conditional branch and performs the
+    CTR decrement the BO field requests. *)
+let bc_taken (st : Machine.t) bo bi =
+  let ctr_ok =
+    if Insn.Bo.no_ctr_dec bo then true
+    else (
+      st.ctr <- u32 (st.ctr - 1);
+      let z = st.ctr = 0 in
+      if Insn.Bo.ctr_zero_sense bo then z else not z)
+  in
+  let cond_ok =
+    Insn.Bo.ignores_cond bo
+    || Machine.get_crb st bi = if Insn.Bo.cond_sense bo then 1 else 0
+  in
+  ctr_ok && cond_ok
+
+let ea (st : Machine.t) ra d = u32 ((if ra = 0 then 0 else st.gpr.(ra)) + d)
+let eax (st : Machine.t) ra rb =
+  u32 ((if ra = 0 then 0 else st.gpr.(ra)) + st.gpr.(rb))
+
+let load_val mem (w : Insn.width) alg addr =
+  let v = Mem.load mem w addr in
+  if alg && w = Half then u32 (s32 ((v land 0xFFFF) lsl 16) asr 16) else v
+
+(** Execute one decoded instruction.  [pc] is its address; on normal
+    completion [st.pc] points at the next instruction. *)
+let exec (t : t) pc (i : Insn.t) =
+  let st = t.st and mem = t.mem in
+  let g = st.gpr in
+  let next = ref (u32 (pc + 4)) in
+  (match i with
+  | Addi (rt, ra, si) -> g.(rt) <- u32 ((if ra = 0 then 0 else g.(ra)) + si)
+  | Addis (rt, ra, si) ->
+    g.(rt) <- u32 ((if ra = 0 then 0 else g.(ra)) + (si lsl 16))
+  | Addic (rt, ra, si) ->
+    let r = g.(ra) + u32 si in
+    st.xer_ca <- r > mask32;
+    g.(rt) <- u32 r
+  | Mulli (rt, ra, si) -> g.(rt) <- u32 (s32 g.(ra) * si)
+  | Cmpi (bf, ra, si) -> cmp_s st bf g.(ra) (u32 si)
+  | Cmpli (bf, ra, ui) -> cmp_u st bf g.(ra) ui
+  | Andi (rs, ra, ui) ->
+    g.(ra) <- g.(rs) land ui;
+    record_rc st g.(ra)
+  | Ori (rs, ra, ui) -> g.(ra) <- g.(rs) lor ui
+  | Oris (rs, ra, ui) -> g.(ra) <- g.(rs) lor (ui lsl 16)
+  | Xori (rs, ra, ui) -> g.(ra) <- g.(rs) lxor ui
+  | Xo (op, rt, ra, rb, rc) ->
+    g.(rt) <- alu_xo st op g.(ra) (if op = Neg then 0 else g.(rb));
+    if rc then record_rc st g.(rt)
+  | X (op, ra, rs, rb, rc) ->
+    g.(ra) <- alu_x st op g.(rs) g.(rb);
+    if rc then record_rc st g.(ra)
+  | X1 (op, ra, rs, rc) ->
+    g.(ra) <- alu_x1 op g.(rs);
+    if rc then record_rc st g.(ra)
+  | Srawi (ra, rs, sh, rc) ->
+    let s = g.(rs) in
+    let lost = if sh = 0 then 0 else s land ((1 lsl sh) - 1) in
+    st.xer_ca <- s land 0x8000_0000 <> 0 && lost <> 0;
+    g.(ra) <- u32 (s32 s asr sh);
+    if rc then record_rc st g.(ra)
+  | Cmp (bf, ra, rb) -> cmp_s st bf g.(ra) g.(rb)
+  | Cmpl (bf, ra, rb) -> cmp_u st bf g.(ra) g.(rb)
+  | Rlwinm (ra, rs, sh, mb, me, rc) ->
+    g.(ra) <- rotl32 g.(rs) sh land mask_mb_me mb me;
+    if rc then record_rc st g.(ra)
+  | Load (w, alg, rt, ra, d) -> g.(rt) <- load_val mem w alg (ea st ra d)
+  | Store (w, rs, ra, d) -> Mem.store mem w (ea st ra d) g.(rs)
+  | Loadx (w, alg, rt, ra, rb) -> g.(rt) <- load_val mem w alg (eax st ra rb)
+  | Storex (w, rs, ra, rb) -> Mem.store mem w (eax st ra rb) g.(rs)
+  | Lwzu (rt, ra, d) ->
+    let a = ea st ra d in
+    g.(rt) <- Mem.load mem Word a;
+    g.(ra) <- a
+  | Stwu (rs, ra, d) ->
+    let a = ea st ra d in
+    Mem.store mem Word a g.(rs);
+    g.(ra) <- a
+  | Lmw (rt, ra, d) ->
+    let a = ref (ea st ra d) in
+    for r = rt to 31 do
+      g.(r) <- Mem.load mem Word !a;
+      a := u32 (!a + 4)
+    done
+  | Stmw (rs, ra, d) ->
+    let a = ref (ea st ra d) in
+    for r = rs to 31 do
+      Mem.store mem Word !a g.(r);
+      a := u32 (!a + 4)
+    done
+  | B (li, aa, lk) ->
+    if lk then st.lr <- u32 (pc + 4);
+    next := u32 (if aa then li else pc + li)
+  | Bc (bo, bi, bd, aa, lk) ->
+    if lk then st.lr <- u32 (pc + 4);
+    if bc_taken st bo bi then next := u32 (if aa then bd else pc + bd)
+  | Bclr (bo, bi, lk) ->
+    let target = st.lr land lnot 3 in
+    if lk then st.lr <- u32 (pc + 4);
+    if bc_taken st bo bi then next := target
+  | Bcctr (bo, bi, lk) ->
+    if lk then st.lr <- u32 (pc + 4);
+    if bc_taken st bo bi then next := st.ctr land lnot 3
+  | Crop (op, bt, ba, bb) ->
+    let a = Machine.get_crb st ba and b = Machine.get_crb st bb in
+    let v =
+      match op with
+      | Crand -> a land b
+      | Cror -> a lor b
+      | Crxor -> a lxor b
+      | Crnand -> 1 - (a land b)
+      | Crnor -> 1 - (a lor b)
+      | Crandc -> a land (1 - b)
+      | Creqv -> 1 - (a lxor b)
+      | Crorc -> a lor (1 - b)
+    in
+    Machine.set_crb st bt v
+  | Mcrf (bf, bfa) -> Machine.set_crf st bf (Machine.get_crf st bfa)
+  | Mfcr rt -> g.(rt) <- st.cr
+  | Mtcrf (fxm, rs) ->
+    for f = 0 to 7 do
+      if fxm land (0x80 lsr f) <> 0 then
+        Machine.set_crf st f ((g.(rs) lsr (4 * (7 - f))) land 0xF)
+    done
+  | Mfspr (rt, spr) -> g.(rt) <- Machine.get_spr st spr
+  | Mtspr (spr, rs) -> Machine.set_spr st spr g.(rs)
+  | Mfmsr rt -> g.(rt) <- st.msr
+  | Mtmsr rs -> st.msr <- g.(rs) land 0xFFFF
+  | Sc -> interrupt st ~return_pc:(u32 (pc + 4)) Vector.syscall
+  | Rfi ->
+    st.msr <- st.srr1;
+    next := st.srr0 land lnot 3
+  | Isync -> ());
+  match i with Sc -> () | _ -> st.pc <- !next
+
+(** Execute a single instruction, delivering data-storage and program
+    interrupts to the base OS vectors.  Raises {!Mem.Halted} when the
+    program stores to the halt MMIO word. *)
+let step (t : t) =
+  let st = t.st in
+  let pc = st.pc in
+  match Mem.fetch t.mem pc with
+  | exception Mem.Data_fault _ -> interrupt st ~return_pc:pc Vector.isi
+  | w -> (
+    t.icount <- t.icount + 1;
+    if not (Hashtbl.mem t.touched pc) then Hashtbl.add t.touched pc ();
+    match Decode.decode w with
+    | None -> interrupt st ~return_pc:pc Vector.program
+    | Some i -> (
+      (match t.trace with Some f -> f pc i | None -> ());
+      try exec t pc i
+      with Mem.Data_fault { addr; write } ->
+        st.dar <- addr;
+        st.dsisr <- if write then 0x0200_0000 else 0x4000_0000;
+        interrupt st ~return_pc:pc Vector.dsi))
+
+(** [run t ~fuel] steps until the program halts or [fuel] instructions
+    have executed; returns the exit code, or [None] if fuel ran out. *)
+let run (t : t) ~fuel =
+  let rec go n =
+    if n <= 0 then None
+    else
+      match step t with
+      | () -> go (n - 1)
+      | exception Mem.Halted code -> Some code
+  in
+  go fuel

@@ -1,0 +1,1 @@
+lib/s390/asm.ml: Bytes Encode Hashtbl Insn Int32 List Ppc Printf

@@ -1,0 +1,1 @@
+lib/s390/crack.ml: Fun Insn List Option Ppc Translator

@@ -1,0 +1,1 @@
+lib/s390/decode.ml: Bytes Char Insn Ppc

@@ -1,0 +1,1 @@
+lib/s390/encode.ml: Bytes Char Insn List Ppc Printf

@@ -1,0 +1,1 @@
+lib/s390/frontend.ml: Crack Decode Insn Interp Translator

@@ -1,0 +1,1 @@
+lib/s390/insn.ml: Format List

@@ -1,0 +1,1 @@
+lib/s390/interp.ml: Array Decode Hashtbl Insn List Ppc

@@ -1,0 +1,129 @@
+(* A small assembler for the S/390 subset.
+
+   S/390 has no PC-relative branches: code addresses things through a
+   base register that the classic prologue establishes with
+   [BALR rb, 0].  The sugar here follows that convention: [set_base]
+   names the base register and the label it covers, and the branch/EA
+   helpers turn labels into base-relative displacements. *)
+
+type item =
+  | I of Insn.t
+  | Rel of ((string, int) Hashtbl.t -> int -> Insn.t)
+  | Label of string
+  | Org of int
+  | Space of int
+  | Word of int  (* a literal-pool constant *)
+
+type t = {
+  mutable items : item list;  (* reversed *)
+  mutable base_reg : int;
+  mutable base_label : string;
+}
+
+let create () = { items = []; base_reg = 12; base_label = "" }
+
+let push t it = t.items <- it :: t.items
+let ins t i = push t (I i)
+let label t name = push t (Label name)
+let org t addr = push t (Org addr)
+let space t n = push t (Space n)
+
+(** Emit a 32-bit literal (define-constant). *)
+let word t v = push t (Word v)
+
+exception Unknown_label of string
+
+let resolve labels name =
+  match Hashtbl.find_opt labels name with
+  | Some a -> a
+  | None -> raise (Unknown_label name)
+
+let layout t =
+  let labels = Hashtbl.create 32 in
+  let here = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | I i -> here := !here + Encode.length i
+      | Rel _ -> here := !here + 4  (* all Rel items are 4-byte RX/BC forms *)
+      | Label name -> Hashtbl.replace labels name !here
+      | Org a -> here := a
+      | Space n -> here := !here + n
+      | Word _ -> here := !here + 4)
+    (List.rev t.items);
+  labels
+
+(** Assemble into memory; returns the label table. *)
+let assemble t (mem : Ppc.Mem.t) =
+  let labels = layout t in
+  let here = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | I i -> here := Encode.store mem !here i
+      | Rel f -> here := Encode.store mem !here (f labels !here)
+      | Label _ -> ()
+      | Org a -> here := a
+      | Space n -> here := !here + n
+      | Word v ->
+        Bytes.set_int32_be mem.bytes !here (Int32.of_int v);
+        here := !here + 4)
+    (List.rev t.items);
+  labels
+
+(* ------------------------------------------------------------------ *)
+(* Sugar                                                               *)
+
+(** Establish the base register: emits [BALR rb, 0] and records that
+    displacements are relative to the next instruction's address. *)
+let set_base t ?(reg = 12) name =
+  ins t (BALR (reg, 0));
+  t.base_reg <- reg;
+  t.base_label <- name;
+  label t name
+
+let base_disp t labels name =
+  let d = resolve labels name - resolve labels t.base_label in
+  if d < 0 || d > 0xFFF then
+    invalid_arg (Printf.sprintf "label %s out of base range (%d)" name d);
+  d
+
+(** Branch on mask to a label (base-relative). *)
+let bc t m name =
+  let tt = t in
+  push t (Rel (fun ls _ -> Insn.BC (m, 0, tt.base_reg, base_disp tt ls name)))
+
+let b t name = bc t 15 name
+
+(* mask mnemonics: 8=zero/equal, 4=negative/low, 2=positive/high *)
+let be t name = bc t 8 name
+let bne t name = bc t 7 name
+let bl_ t name = bc t 4 name
+let bh t name = bc t 2 name
+let bnl t name = bc t 11 name
+let bnh t name = bc t 13 name
+
+(** Call: BAL rl, label. *)
+let bal t rl name =
+  let tt = t in
+  push t (Rel (fun ls _ -> Insn.RX (BAL, rl, 0, tt.base_reg, base_disp tt ls name)))
+
+(** Decrement r and branch to label while non-zero. *)
+let bct t r name =
+  let tt = t in
+  push t (Rel (fun ls _ -> Insn.RX (BCT, r, 0, tt.base_reg, base_disp tt ls name)))
+
+(** Return through a linkage register. *)
+let br t r = ins t (BCR (15, r))
+
+(** Load a 32-bit constant through a literal pool... kept simple: LA for
+    small values, or L from a literal planted by the test. *)
+let la t r1 v =
+  if v < 0 || v > 0xFFF then invalid_arg "la: immediate out of range";
+  ins t (RX (LA, r1, 0, 0, v))
+
+let lr t r1 r2 = ins t (RR (LR_, r1, r2))
+let ar t r1 r2 = ins t (RR (AR, r1, r2))
+let sr t r1 r2 = ins t (RR (SR, r1, r2))
+let l t r1 ?(x = 0) ?(b = 0) d = ins t (RX (L, r1, x, b, d))
+let st t r1 ?(x = 0) ?(b = 0) d = ins t (RX (ST_, r1, x, b, d))

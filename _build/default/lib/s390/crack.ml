@@ -1,0 +1,217 @@
+(* Cracking S/390 instructions into the same RISC primitives the
+   PowerPC front end uses (Appendix E of the paper shows exactly this
+   conversion).  The notable differences from the PowerPC cracker:
+
+   - effective addresses need base+index+displacement arithmetic and
+     the 31-bit effective-address mask (Section 2.2's "Effective
+     Address Mask Register"), so memory operations grow address
+     temporaries;
+   - the condition code is written one-hot into condition field 0 by
+     the ordinary compare primitives (see {!Insn});
+   - all branches are register-indirect: targets are computed into the
+     snapshot temporary (TmpG 0) and the group exits through it, which
+     is why the paper calls constant propagation "crucial for S/390";
+   - BCT's decremented register is left in TmpG [Crack.ctr_tmp] and
+     committed by the branch itself, like PowerPC's bdnz;
+   - MVC decomposes into byte load/store primitive pairs. *)
+
+module C = Translator.Crack
+open C
+
+let gpr r : operand = if r = 0 then Zero else Gpr r
+
+(* Temp ids: 0 = branch-target snapshot, 1..3 = first EA, 4..6 = second
+   EA, 7 = byte shuttle, 8 = scratch, 9 = Crack.ctr_tmp. *)
+
+(* Compute d(x, b) & amask; returns (prims, address operand).  With no
+   registers involved the displacement is the address. *)
+let ea ~tmp ~x ~b ~d =
+  if x = 0 && b = 0 then ([], Zero, d)
+  else begin
+    let t1 = TmpG tmp and t2 = TmpG (tmp + 1) and t3 = TmpG (tmp + 2) in
+    let sum, pre =
+      if x <> 0 && b <> 0 then
+        (t1, [ PBin { op = Ppc.Insn.Add; dst = t1; a = gpr b; b = gpr x } ])
+      else ((if b <> 0 then gpr b else gpr x), [])
+    in
+    let pre = pre @ [ PBinI { op = IAdd; dst = t2; a = sum; imm = d } ] in
+    (* the 31-bit effective-address mask *)
+    let pre = pre @ [ PRlwinm { dst = t3; a = t2; sh = 0; mb = 1; me = 31 } ] in
+    (pre, t3, 0)
+  end
+
+let record r = PCmpI { signed = true; dst = Crf 0; a = Gpr r; imm = 0 }
+
+let rr_binop : Insn.rr_op -> Ppc.Insn.x_op option = function
+  | NR -> Some And_
+  | OR_ -> Some Or_
+  | XR_ -> Some Xor_
+  | _ -> None
+
+(* Decompose a branch mask into pre-primitives and a test. *)
+let mask_test m : prim list * (crbit * bool) option =
+  match Insn.mask_bits m with
+  | [] -> ([], None)  (* never taken: caller handles *)
+  | _ when m = 15 -> ([], None)
+  | [ bit ] -> ([], Some ((Crf 0, bit), true))
+  | bits when List.length bits = 3 ->
+    (* complement of a single bit *)
+    let missing = List.find (fun b -> not (List.mem b bits)) [ 0; 1; 2; 3 ] in
+    ([], Some ((Crf 0, missing), false))
+  | [ b1; b2 ] ->
+    ( [ PCrop { op = Ppc.Insn.Cror; t = (TmpC 1, 0); a = (Crf 0, b1);
+                b = (Crf 0, b2) } ],
+      Some ((TmpC 1, 0), true) )
+  | _ -> ([], None)
+
+(* A branch target: direct when no registers are involved, otherwise
+   computed (with the address mask) into the snapshot temp. *)
+let target ~x ~b ~d =
+  if x = 0 && b = 0 then ([], Direct (d land Insn.amask))
+  else begin
+    let pre, base, off = ea ~tmp:1 ~x ~b ~d in
+    let pre =
+      pre @ [ PBinI { op = IAdd; dst = TmpG 0; a = base; imm = off } ]
+    in
+    (pre, ViaReg (max b x))
+  end
+
+let branch ~mask ~pre_target ~tgt ~extra =
+  let mpre, test = mask_test mask in
+  match (mask, test) with
+  | 0, _ -> { prims = extra; control = Fallthru }
+  | 15, _ | _, None -> { prims = extra @ pre_target; control = Jump tgt }
+  | _, Some (test, sense) ->
+    { prims = extra @ pre_target @ mpre;
+      control = CondJump { test; sense; target = tgt; hint = false;
+                           late_commit = None } }
+
+(** [crack pc len insn] decomposes one S/390 instruction. *)
+let crack pc len (i : Insn.t) : C.cracked =
+  let plain prims = { prims; control = Fallthru } in
+  match i with
+  | RR (LR_, r1, r2) ->
+    plain [ PBinI { op = IAdd; dst = Gpr r1; a = gpr r2; imm = 0 } ]
+  | RR (LTR, r1, r2) ->
+    plain
+      [ PBinI { op = IAdd; dst = Gpr r1; a = gpr r2; imm = 0 }; record r1 ]
+  | RR (CR_, r1, r2) ->
+    plain [ PCmp { signed = true; dst = Crf 0; a = Gpr r1; b = gpr r2 } ]
+  | RR (AR, r1, r2) ->
+    plain
+      [ PBin { op = Add; dst = Gpr r1; a = Gpr r1; b = gpr r2 }; record r1 ]
+  | RR (SR, r1, r2) ->
+    plain
+      [ PBin { op = Subf; dst = Gpr r1; a = gpr r2; b = Gpr r1 }; record r1 ]
+  | RR (op, r1, r2) ->
+    let x = Option.get (rr_binop op) in
+    plain
+      [ PLogic { op = x; dst = Gpr r1; a = Gpr r1; b = gpr r2 }; record r1 ]
+  | BALR (r1, 0) ->
+    plain [ PBinI { op = IAdd; dst = Gpr r1; a = Zero; imm = pc + len } ]
+  | BALR (r1, r2) ->
+    { prims =
+        [ PRlwinm { dst = TmpG 0; a = Gpr r2; sh = 0; mb = 1; me = 31 };
+          PBinI { op = IAdd; dst = Gpr r1; a = Zero; imm = pc + len } ];
+      control = Jump (ViaReg r2) }
+  | BCR (_, 0) -> plain []
+  | BCR (mask, r2) ->
+    branch ~mask
+      ~pre_target:
+        [ PRlwinm { dst = TmpG 0; a = Gpr r2; sh = 0; mb = 1; me = 31 } ]
+      ~tgt:(ViaReg r2) ~extra:[]
+  | BC (mask, x2, b2, d2) ->
+    let pre_target, tgt = target ~x:x2 ~b:b2 ~d:d2 in
+    branch ~mask ~pre_target ~tgt ~extra:[]
+  | RX (BAL, r1, x2, b2, d2) ->
+    let pre_target, tgt = target ~x:x2 ~b:b2 ~d:d2 in
+    { prims =
+        pre_target
+        @ [ PBinI { op = IAdd; dst = Gpr r1; a = Zero; imm = pc + len } ];
+      control = Jump tgt }
+  | RX (BCT, r1, x2, b2, d2) ->
+    let pre_target, tgt = target ~x:x2 ~b:b2 ~d:d2 in
+    { prims =
+        pre_target
+        @ [ PBinI { op = IAdd; dst = TmpG C.ctr_tmp; a = Gpr r1; imm = -1 };
+            PCmpI { signed = true; dst = TmpC 0; a = TmpG C.ctr_tmp; imm = 0 } ];
+      control =
+        CondJump { test = (TmpC 0, Ppc.Insn.Crbit.eq); sense = false;
+                   target = tgt; hint = true; late_commit = Some (Gpr r1) } }
+  | RX (LA, r1, x2, b2, d2) ->
+    let pre, base, off = ea ~tmp:1 ~x:x2 ~b:b2 ~d:d2 in
+    plain (pre @ [ PBinI { op = IAdd; dst = Gpr r1; a = base; imm = off } ])
+  | RX (op, r1, x2, b2, d2) -> (
+    let pre, base, off = ea ~tmp:1 ~x:x2 ~b:b2 ~d:d2 in
+    let load w alg dst =
+      PLoad { w; alg; dst; base; off = OffImm off }
+    in
+    match op with
+    | L -> plain (pre @ [ load Word false (Gpr r1) ])
+    | LH -> plain (pre @ [ load Half true (Gpr r1) ])
+    | ST_ -> plain (pre @ [ PStore { w = Word; src = Gpr r1; base; off = OffImm off } ])
+    | STH -> plain (pre @ [ PStore { w = Half; src = Gpr r1; base; off = OffImm off } ])
+    | STC -> plain (pre @ [ PStore { w = Byte; src = Gpr r1; base; off = OffImm off } ])
+    | IC ->
+      plain
+        (pre
+        @ [ load Byte false (TmpG 7);
+            PRlwinm { dst = TmpG 8; a = Gpr r1; sh = 0; mb = 0; me = 23 };
+            PLogic { op = Or_; dst = Gpr r1; a = TmpG 8; b = TmpG 7 } ])
+    | A | S | N | O | X ->
+      let t = TmpG 7 in
+      let combine =
+        match op with
+        | A -> PBin { op = Add; dst = Gpr r1; a = Gpr r1; b = t }
+        | S -> PBin { op = Subf; dst = Gpr r1; a = t; b = Gpr r1 }
+        | N -> PLogic { op = And_; dst = Gpr r1; a = Gpr r1; b = t }
+        | O -> PLogic { op = Or_; dst = Gpr r1; a = Gpr r1; b = t }
+        | _ -> PLogic { op = Xor_; dst = Gpr r1; a = Gpr r1; b = t }
+      in
+      plain (pre @ [ load Word false t; combine; record r1 ])
+    | C ->
+      plain
+        (pre
+        @ [ load Word false (TmpG 7);
+            PCmp { signed = true; dst = Crf 0; a = Gpr r1; b = TmpG 7 } ])
+    | LA | BAL | BCT -> assert false)
+  | SLL (r1, n) ->
+    plain
+      [ (if n = 0 then PBinI { op = IAdd; dst = Gpr r1; a = Gpr r1; imm = 0 }
+         else PRlwinm { dst = Gpr r1; a = Gpr r1; sh = n; mb = 0; me = 31 - n }) ]
+  | SRL (r1, n) ->
+    plain
+      [ (if n = 0 then PBinI { op = IAdd; dst = Gpr r1; a = Gpr r1; imm = 0 }
+         else PRlwinm { dst = Gpr r1; a = Gpr r1; sh = 32 - n; mb = n; me = 31 }) ]
+  | SI (op, d1, b1, i2) -> (
+    let pre, base, off = ea ~tmp:1 ~x:0 ~b:b1 ~d:d1 in
+    match op with
+    | MVI ->
+      plain
+        (pre
+        @ [ PBinI { op = IAdd; dst = TmpG 7; a = Zero; imm = i2 land 0xFF };
+            PStore { w = Byte; src = TmpG 7; base; off = OffImm off } ])
+    | CLI ->
+      plain
+        (pre
+        @ [ PLoad { w = Byte; alg = false; dst = TmpG 7; base; off = OffImm off };
+            PCmpI { signed = false; dst = Crf 0; a = TmpG 7; imm = i2 land 0xFF } ])
+    | TM ->
+      plain
+        (pre
+        @ [ PLoad { w = Byte; alg = false; dst = TmpG 7; base; off = OffImm off };
+            PBinI { op = IAnd; dst = TmpG 8; a = TmpG 7; imm = i2 land 0xFF };
+            PCmpI { signed = true; dst = Crf 0; a = TmpG 8; imm = 0 } ]))
+  | MVC (l, d1, b1, d2, b2) ->
+    let pre1, dbase, doff = ea ~tmp:1 ~x:0 ~b:b1 ~d:d1 in
+    let pre2, sbase, soff = ea ~tmp:4 ~x:0 ~b:b2 ~d:d2 in
+    let moves =
+      List.concat_map
+        (fun k ->
+          [ PLoad { w = Byte; alg = false; dst = TmpG 7; base = sbase;
+                    off = OffImm (soff + k) };
+            PStore { w = Byte; src = TmpG 7; base = dbase;
+                     off = OffImm (doff + k) } ])
+        (List.init (l + 1) Fun.id)
+    in
+    plain (pre1 @ pre2 @ moves)

@@ -1,0 +1,90 @@
+(* Decoding the S/390 subset from memory.  Instruction length is given
+   by the top two bits of the opcode (00 = 2 bytes, 01/10 = 4 bytes,
+   11 = 6 bytes), exactly as the architecture specifies. *)
+
+let byte (mem : Ppc.Mem.t) addr =
+  if addr >= 0 && addr < mem.size then Char.code (Bytes.get mem.bytes addr)
+  else raise (Ppc.Mem.Data_fault { addr; write = false })
+
+let rr_of_opcode : int -> Insn.rr_op option = function
+  | 0x18 -> Some LR_
+  | 0x1A -> Some AR
+  | 0x1B -> Some SR
+  | 0x14 -> Some NR
+  | 0x16 -> Some OR_
+  | 0x17 -> Some XR_
+  | 0x19 -> Some CR_
+  | 0x12 -> Some LTR
+  | _ -> None
+
+let rx_of_opcode : int -> Insn.rx_op option = function
+  | 0x58 -> Some L
+  | 0x50 -> Some ST_
+  | 0x5A -> Some A
+  | 0x5B -> Some S
+  | 0x54 -> Some N
+  | 0x56 -> Some O
+  | 0x57 -> Some X
+  | 0x59 -> Some C
+  | 0x41 -> Some LA
+  | 0x48 -> Some LH
+  | 0x40 -> Some STH
+  | 0x42 -> Some STC
+  | 0x43 -> Some IC
+  | 0x45 -> Some BAL
+  | 0x46 -> Some BCT
+  | _ -> None
+
+let si_of_opcode : int -> Insn.si_op option = function
+  | 0x92 -> Some MVI
+  | 0x95 -> Some CLI
+  | 0x91 -> Some TM
+  | _ -> None
+
+(** [decode mem pc] is the instruction at [pc] and its byte length, or
+    [None] if the bytes fall outside the subset. *)
+let decode mem pc : (Insn.t * int) option =
+  try
+    match byte mem pc with
+    | exception Ppc.Mem.Data_fault _ -> None
+    | op -> (
+    let b2nd () = byte mem (pc + 1) in
+    let bd off =
+      let hi = byte mem (pc + off) and lo = byte mem (pc + off + 1) in
+      (hi lsr 4, ((hi land 0xF) lsl 8) lor lo)
+    in
+    match op with
+    | 0x05 -> Some (Insn.BALR (b2nd () lsr 4, b2nd () land 0xF), 2)
+    | 0x07 -> Some (Insn.BCR (b2nd () lsr 4, b2nd () land 0xF), 2)
+    | _ when op < 0x40 -> (
+      match rr_of_opcode op with
+      | Some rr -> Some (Insn.RR (rr, b2nd () lsr 4, b2nd () land 0xF), 2)
+      | None -> None)
+    | 0x47 ->
+      let b, d = bd 2 in
+      Some (Insn.BC (b2nd () lsr 4, b2nd () land 0xF, b, d), 4)
+    | 0x89 ->
+      let b, d = bd 2 in
+      if b = 0 && d <= 31 then Some (Insn.SLL (b2nd () lsr 4, d), 4) else None
+    | 0x88 ->
+      let b, d = bd 2 in
+      if b = 0 && d <= 31 then Some (Insn.SRL (b2nd () lsr 4, d), 4) else None
+    | 0xD2 ->
+      let l = b2nd () in
+      if l + 1 > Insn.max_mvc then None
+      else
+        let b1, d1 = bd 2 and b2, d2 = bd 4 in
+        Some (Insn.MVC (l, d1, b1, d2, b2), 6)
+    | _ when op >= 0x90 && op < 0xC0 -> (
+      match si_of_opcode op with
+      | Some si ->
+        let b1, d1 = bd 2 in
+        Some (Insn.SI (si, d1, b1, b2nd ()), 4)
+      | None -> None)
+    | _ -> (
+      match rx_of_opcode op with
+      | Some rx ->
+        let b, d = bd 2 in
+        Some (Insn.RX (rx, b2nd () lsr 4, b2nd () land 0xF, b, d), 4)
+      | None -> None))
+  with Ppc.Mem.Data_fault _ -> None

@@ -1,0 +1,63 @@
+(* Byte-exact encoding of the S/390 subset (RR, RX, RS, SI and SS
+   instruction formats with their real opcodes). *)
+
+let rr_opcode : Insn.rr_op -> int = function
+  | LR_ -> 0x18
+  | AR -> 0x1A
+  | SR -> 0x1B
+  | NR -> 0x14
+  | OR_ -> 0x16
+  | XR_ -> 0x17
+  | CR_ -> 0x19
+  | LTR -> 0x12
+
+let rx_opcode : Insn.rx_op -> int = function
+  | L -> 0x58
+  | ST_ -> 0x50
+  | A -> 0x5A
+  | S -> 0x5B
+  | N -> 0x54
+  | O -> 0x56
+  | X -> 0x57
+  | C -> 0x59
+  | LA -> 0x41
+  | LH -> 0x48
+  | STH -> 0x40
+  | STC -> 0x42
+  | IC -> 0x43
+  | BAL -> 0x45
+  | BCT -> 0x46
+
+let si_opcode : Insn.si_op -> int = function
+  | MVI -> 0x92
+  | CLI -> 0x95
+  | TM -> 0x91
+
+(** [encode i] is the instruction's bytes (2, 4 or 6 of them).
+    Raises [Invalid_argument] if a displacement exceeds the 12-bit
+    field. *)
+let encode (i : Insn.t) : int list =
+  let bd b d =
+    if d < 0 || d > 0xFFF then
+      invalid_arg (Printf.sprintf "S390.Encode: displacement %d out of range" d);
+    [ ((b land 0xF) lsl 4) lor ((d lsr 8) land 0xF); d land 0xFF ]
+  in
+  match i with
+  | RR (op, r1, r2) -> [ rr_opcode op; ((r1 land 0xF) lsl 4) lor (r2 land 0xF) ]
+  | BALR (r1, r2) -> [ 0x05; ((r1 land 0xF) lsl 4) lor (r2 land 0xF) ]
+  | BCR (m, r2) -> [ 0x07; ((m land 0xF) lsl 4) lor (r2 land 0xF) ]
+  | RX (op, r1, x2, b2, d2) ->
+    (rx_opcode op :: [ ((r1 land 0xF) lsl 4) lor (x2 land 0xF) ]) @ bd b2 d2
+  | BC (m, x2, b2, d2) ->
+    (0x47 :: [ ((m land 0xF) lsl 4) lor (x2 land 0xF) ]) @ bd b2 d2
+  | SLL (r1, n) -> (0x89 :: [ (r1 land 0xF) lsl 4 ]) @ bd 0 n
+  | SRL (r1, n) -> (0x88 :: [ (r1 land 0xF) lsl 4 ]) @ bd 0 n
+  | SI (op, d1, b1, i2) -> (si_opcode op :: [ i2 land 0xFF ]) @ bd b1 d1
+  | MVC (l, d1, b1, d2, b2) -> (0xD2 :: [ l land 0xFF ]) @ bd b1 d1 @ bd b2 d2
+
+let length i = List.length (encode i)
+
+(** Write [i] into memory at [addr]; returns the next address. *)
+let store (mem : Ppc.Mem.t) addr i =
+  List.iteri (fun k b -> Bytes.set mem.bytes (addr + k) (Char.chr b)) (encode i);
+  addr + length i

@@ -1,0 +1,20 @@
+(* The S/390 front end for the DAISY translator and VMM. *)
+
+let s390 : Translator.Frontend.t =
+  { name = "s390";
+    decode_crack =
+      (fun mem pc ->
+        match Decode.decode mem pc with
+        | None -> None
+        | Some (i, len) -> Some (Crack.crack pc len i, len));
+    make_step =
+      (fun st mem ->
+        let it = Interp.create st mem in
+        fun () -> Interp.step it);
+    is_episode_stop =
+      (fun mem pc ->
+        match Decode.decode mem pc with
+        | Some ((Insn.BALR _ | BCR _ | BC _), _) -> true
+        | Some (RX ((BAL | BCT), _, _, _, _), _) -> true
+        | Some _ | None -> false);
+    target_mask = Insn.amask land lnot 1 }

@@ -1,0 +1,93 @@
+(* An S/390 subset — DAISY's second base architecture.
+
+   The paper argues (Section 2.2, Appendix E) that the same migrant
+   VLIW can be "dynamically architected" to emulate S/390: its state
+   embeds into the superset state the VLIW already architects (16 GPRs
+   into r0..r15, the 2-bit condition code into condition field 0), and
+   its CISC features map onto the same RISC primitives — three-input
+   address arithmetic, the effective-address mask register (we run in
+   31-bit mode), storage-to-storage moves decomposed into byte
+   primitives, and branches that are all register-indirect (which is
+   why the paper calls constant propagation "crucial for S/390").
+
+   Condition-code embedding (one-hot in condition field 0):
+     CC0 (zero/equal)    -> the EQ bit
+     CC1 (negative/low)  -> the LT bit
+     CC2 (positive/high) -> the GT bit
+     CC3 (overflow)      -> the SO bit
+   A branch mask m (bit 8 selects CC0 .. bit 1 selects CC3) becomes a
+   test of the corresponding field bits.
+
+   Documented subset simplifications (applied identically by the
+   interpreter and the translator, so translated execution still equals
+   interpretation exactly):
+   - arithmetic never sets CC3 (no overflow detection);
+   - N/O/X set CC from the sign of the result like arithmetic;
+   - TM sets CC0 when the tested bits are all zero and CC2 otherwise;
+   - MVC lengths are limited to 12 bytes;
+   - shifts take immediate amounts (B2 = 0, D2 <= 31). *)
+
+type rr_op = LR_ | AR | SR | NR | OR_ | XR_ | CR_ | LTR
+
+type rx_op = L | ST_ | A | S | N | O | X | C | LA | LH | STH | STC | IC | BAL | BCT
+
+type si_op = MVI | CLI | TM
+
+type t =
+  | RR of rr_op * int * int          (** op r1, r2 *)
+  | BALR of int * int                (** r1 <- next; branch to r2 (r2=0: none) *)
+  | BCR of int * int                 (** mask, r2 (r2=0: no-op) *)
+  | RX of rx_op * int * int * int * int  (** op r1, d2(x2, b2) *)
+  | BC of int * int * int * int      (** mask, d2(x2, b2) *)
+  | SLL of int * int                 (** r1, amount *)
+  | SRL of int * int
+  | SI of si_op * int * int * int    (** op d1(b1), i2 *)
+  | MVC of int * int * int * int * int  (** len-1, d1(b1), d2(b2) *)
+
+(** 31-bit addressing mode: the effective-address mask. *)
+let amask = 0x7FFF_FFFF
+
+(** Maximum MVC length (bytes) in this subset. *)
+let max_mvc = 12
+
+let rr_name = function
+  | LR_ -> "lr" | AR -> "ar" | SR -> "sr" | NR -> "nr" | OR_ -> "or"
+  | XR_ -> "xr" | CR_ -> "cr" | LTR -> "ltr"
+
+let rx_name = function
+  | L -> "l" | ST_ -> "st" | A -> "a" | S -> "s" | N -> "n" | O -> "o"
+  | X -> "x" | C -> "c" | LA -> "la" | LH -> "lh" | STH -> "sth"
+  | STC -> "stc" | IC -> "ic" | BAL -> "bal" | BCT -> "bct"
+
+let si_name = function MVI -> "mvi" | CLI -> "cli" | TM -> "tm"
+
+let pp ppf = function
+  | RR (op, r1, r2) -> Format.fprintf ppf "%s r%d,r%d" (rr_name op) r1 r2
+  | BALR (r1, r2) -> Format.fprintf ppf "balr r%d,r%d" r1 r2
+  | BCR (m, r2) -> Format.fprintf ppf "bcr %d,r%d" m r2
+  | RX (op, r1, x2, b2, d2) ->
+    Format.fprintf ppf "%s r%d,%d(r%d,r%d)" (rx_name op) r1 d2 x2 b2
+  | BC (m, x2, b2, d2) -> Format.fprintf ppf "bc %d,%d(r%d,r%d)" m d2 x2 b2
+  | SLL (r1, n) -> Format.fprintf ppf "sll r%d,%d" r1 n
+  | SRL (r1, n) -> Format.fprintf ppf "srl r%d,%d" r1 n
+  | SI (op, d1, b1, i2) ->
+    Format.fprintf ppf "%s %d(r%d),%d" (si_name op) d1 b1 i2
+  | MVC (l, d1, b1, d2, b2) ->
+    Format.fprintf ppf "mvc %d(%d,r%d),%d(r%d)" d1 (l + 1) b1 d2 b2
+
+let to_string i = Format.asprintf "%a" pp i
+
+(** The one-hot CC embedding into condition field 0. *)
+let cc_to_field = function
+  | 0 -> 0b0010  (* EQ *)
+  | 1 -> 0b1000  (* LT *)
+  | 2 -> 0b0100  (* GT *)
+  | _ -> 0b0001  (* SO *)
+
+(** Field-bit positions (0 = LT .. 3 = SO) selected by a branch mask. *)
+let mask_bits m =
+  List.concat
+    [ (if m land 8 <> 0 then [ 2 ] else []);  (* CC0 -> EQ *)
+      (if m land 4 <> 0 then [ 0 ] else []);  (* CC1 -> LT *)
+      (if m land 2 <> 0 then [ 1 ] else []);  (* CC2 -> GT *)
+      (if m land 1 <> 0 then [ 3 ] else []) ] (* CC3 -> SO *)

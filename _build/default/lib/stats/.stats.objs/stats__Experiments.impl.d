@@ -1,0 +1,1 @@
+lib/stats/experiments.ml: Array Baseline Hashtbl List Memsys Ppc Printf S390 Table Translator Vliw Vmm Workloads

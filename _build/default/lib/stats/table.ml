@@ -1,0 +1,47 @@
+(* Plain-text table rendering for the experiment reports. *)
+
+(** [render ~title ~header rows] prints an aligned table: first column
+    left-aligned, the rest right-aligned, like the paper's tables. *)
+let render ?title ~header rows =
+  let ncols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row c)))
+      (String.length (List.nth header c))
+      rows
+  in
+  let widths = List.init ncols width in
+  let pad c s =
+    let w = List.nth widths c in
+    if c = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  (match title with
+  | Some t ->
+    print_newline ();
+    print_endline t;
+    print_endline (String.make (String.length t) '-')
+  | None -> ());
+  print_endline (line header);
+  print_endline
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (line row)) rows
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let pct v = Printf.sprintf "%.2f%%" (100.0 *. v)
+let i v = string_of_int v
+
+(** Thousands-separated integer, for big dynamic counts. *)
+let big v =
+  let s = string_of_int v in
+  let n = String.length s in
+  let b = Buffer.create (n + (n / 3)) in
+  String.iteri
+    (fun idx c ->
+      if idx > 0 && (n - idx) mod 3 = 0 then Buffer.add_char b ',';
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))

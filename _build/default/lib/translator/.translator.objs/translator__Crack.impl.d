@@ -1,0 +1,1 @@
+lib/translator/crack.ml: Fun Insn List Ppc Vliw

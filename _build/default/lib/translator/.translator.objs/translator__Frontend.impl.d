@@ -1,0 +1,1 @@
+lib/translator/frontend.ml: Crack Ppc

@@ -1,0 +1,1 @@
+lib/translator/params.ml: Hashtbl Vliw

@@ -1,0 +1,1 @@
+lib/translator/res.ml: Vliw

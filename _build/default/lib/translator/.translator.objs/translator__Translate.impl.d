@@ -1,0 +1,1 @@
+lib/translator/translate.ml: Array Crack Float Frontend Hashtbl Insn Int List Mem Option Params Ppc Printf Queue Res Set Sys Vec Vliw

@@ -1,0 +1,1 @@
+lib/translator/vec.ml: Array List

@@ -1,0 +1,39 @@
+(* The flattened space of architected resources the scheduler tracks
+   dependences and renaming over.
+
+   0..31   GPRs
+   32      LR
+   33      CTR
+   34      CA          (renamed into the carry extender bit of a GPR)
+   35      OV, 36 SO   (written only by mtxer; reads rarely serialize)
+   37..44  CR fields 0..7
+   45      "slow" serialized state: SRR0/1, DAR, DSISR, SPRGs, MSR, and
+           the XER viewed as a whole. *)
+
+let count = 46
+
+let gpr i = i
+let lr = 32
+let ctr = 33
+let ca = 34
+let ov = 35
+let so = 36
+let crf i = 37 + i
+let slow = 45
+
+let is_gpr_space r = r < 34  (* GPRs, LR, CTR: renamed into the GPR pool *)
+let is_crf r = r >= 37 && r < 45
+
+(** The location an architected resource occupies when not renamed.
+    Non-renameable resources (OV/SO/slow state) live in machine state
+    and are never looked up through the maps; they get a dummy 0. *)
+let identity_loc r : Vliw.Op.loc =
+  if r < 32 then r
+  else if r = lr then Vliw.Op.lr_loc
+  else if r = ctr then Vliw.Op.ctr_loc
+  else if r = ca then Vliw.Op.ca_loc
+  else if is_crf r then r - 37
+  else 0
+
+(** Resources whose values can live in renamed registers. *)
+let renameable r = is_gpr_space r || r = ca || is_crf r

@@ -1,0 +1,1236 @@
+(* The DAISY dynamic translator (Chapter 2 and Appendix A).
+
+   [entry] translates the group of base instructions reachable from an
+   entry point, one page at a time, exactly as TranslateOneEntry /
+   CreateVLIWGroupForEntry / DecodeAndScheduleOneInstr describe:
+
+   - a worklist of entry offsets within the page;
+   - per entry, a list of paths ordered by decreasing probability, each
+     path owning a chain of tree VLIWs (sharing the prefix built before
+     conditional branches split them);
+   - each base instruction is decoded, cracked into RISC primitives,
+     and each primitive is placed greedily: in the earliest VLIW on the
+     path where its operands are available and resources remain, with
+     its result renamed into a non-architected register and a commit
+     appended to the last VLIW (out-of-order placement), or directly in
+     the last VLIW writing its architected destination (in-order
+     placement).  Stores, branches and serialized system state always
+     go in order, which is what keeps exceptions precise. *)
+
+module T = Vliw.Tree
+module Op = Vliw.Op
+module Cfg = Vliw.Config
+open Ppc
+
+(* ------------------------------------------------------------------ *)
+(* Translated pages                                                    *)
+
+type xpage = {
+  base : int;   (** base physical address of the page (aligned) *)
+  psize : int;
+  vliws : T.t Vec.t;
+  addrs : int Vec.t;              (** VLIW-space address per VLIW *)
+  sizes : int Vec.t;
+  entries : (int, int) Hashtbl.t; (** page offset -> root VLIW id *)
+  mutable code_bytes : int;
+  mutable next_addr : int;
+  mutable insns_scheduled : int;  (** translation work on this page *)
+}
+
+type totals = {
+  mutable pages : int;
+  mutable groups : int;
+  mutable insns : int;       (** base instructions scheduled (with re-scheduling) *)
+  mutable vliws_made : int;
+  mutable code_bytes : int;
+  mutable entry_points : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  params : Params.t;
+  mem : Mem.t;
+  fe : Frontend.t;
+  pages : (int, xpage) Hashtbl.t;
+  load_spec_off : (int, unit) Hashtbl.t;
+      (** pages retranslated with load speculation inhibited (adaptive
+          aliasing response) *)
+  mutable guard_hint : (int -> int) option;
+      (** current run-time value of an architected resource, provided by
+          the VMM at translation time; feeds the guarded inlining of
+          indirect branches (Chapter 6) *)
+  totals : totals;
+}
+
+let create ?(frontend = Frontend.ppc) params mem =
+  { params; mem; fe = frontend; pages = Hashtbl.create 64;
+    load_spec_off = Hashtbl.create 4; guard_hint = None;
+    totals = { pages = 0; groups = 0; insns = 0; vliws_made = 0;
+               code_bytes = 0; entry_points = 0; invalidations = 0 } }
+
+let page_base t addr = addr land lnot (t.params.page_size - 1)
+
+let page_of t addr =
+  let base = page_base t addr in
+  match Hashtbl.find_opt t.pages base with
+  | Some p -> p
+  | None ->
+    let p =
+      { base; psize = t.params.page_size; vliws = Vec.create ();
+        addrs = Vec.create (); sizes = Vec.create ();
+        entries = Hashtbl.create 16; code_bytes = 0;
+        next_addr = Vliw.Layout.vliw_base + (base * Vliw.Layout.expansion);
+        insns_scheduled = 0 }
+    in
+    Hashtbl.add t.pages base p;
+    t.totals.pages <- t.totals.pages + 1;
+    p
+
+(** Mark the page containing [addr] so its future translations inhibit
+    moving loads above stores (adaptive response to frequent run-time
+    aliasing). *)
+let inhibit_load_spec t addr =
+  Hashtbl.replace t.load_spec_off (page_base t addr) ()
+
+(** Drop the translation of the page containing [addr] (code was
+    modified, Section 3.2), if any. *)
+let invalidate t addr =
+  let base = page_base t addr in
+  if Hashtbl.mem t.pages base then (
+    Hashtbl.remove t.pages base;
+    t.totals.invalidations <- t.totals.invalidations + 1)
+
+let translated t addr = Hashtbl.mem t.pages (page_base t addr)
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+
+type path = {
+  mutable vliws_on : T.t Vec.t;      (* VLIWs along this path, root..last *)
+  mutable tips : T.node Vec.t;       (* this path's tip in each VLIW *)
+  mutable maps : Op.loc array Vec.t; (* per VLIW: resource -> location *)
+  avail : int array;                 (* resource -> first VLIW index where readable *)
+  commit_at : int array;             (* resource -> VLIW index of pending/last commit *)
+  defgen : int array;                (* resource -> definition counter, for
+                                        value-identity stamps *)
+  consts : int option array;         (* resource -> known constant value, for
+                                        indirect->direct branch conversion
+                                        ("crucial for S/390", Chapter 2) *)
+  cur_loc : Op.loc array;            (* resource -> location holding its most
+                                        recent value; seeds the map rows of
+                                        newly opened VLIWs (the map rows
+                                        themselves only cover VLIWs that
+                                        already existed when the rename
+                                        happened) *)
+  mutable continuation : int;
+  mutable prob : float;
+  mutable budget : int;
+  mutable floor : int;               (* no op may be placed below this index *)
+  mutable last_store : int;          (* highest VLIW index holding a store; -1 *)
+  mutable fwd : fwd_info option;     (* the most recent store, for must-alias
+                                        forwarding *)
+  mutable live_tg : int;             (* pool bits held by live temporaries *)
+  mutable live_tc : int;
+  mutable force_rename : bool;       (* current insn reads a register it also
+                                        writes: its architected commits are
+                                        staged and flushed atomically *)
+  mutable staged : (int * Op.loc) list;  (* reversed (resource, renamed loc) *)
+  mutable closed : bool;
+}
+
+(* Everything needed to prove a later load must read the last store's
+   value: the access shape, plus the base/source resources and their
+   availability stamps (unchanged stamps = unchanged values). *)
+and fwd_info = {
+  f_width : Ppc.Insn.width;
+  f_base : int;        (* base resource id, or -1 for the zero register *)
+  f_base_avail : int;  (* defgen stamp of the base at the store *)
+  f_off : fwd_off;
+  f_src : int;         (* source gpr resource *)
+  f_src_avail : int;
+}
+
+and fwd_off = FImm of int | FReg of int * int  (* resource, defgen stamp *)
+
+type group = {
+  tr : t;
+  page : xpage;
+  mutable paths : path list;              (* sorted by decreasing prob *)
+  visits : (int, int) Hashtbl.t;          (* base addr -> times scheduled *)
+  mutable seq : int;                      (* program-order numbering *)
+  mutable pending : int list;             (* page offsets needing entries *)
+  first_vliw : int;                       (* id of first VLIW of this group *)
+  hint_ok : bool;
+      (* run-time register hints are only meaningful for the group the
+         VMM is jumping to right now; groups translated eagerly off the
+         worklist see stale state and must not plant guards *)
+}
+
+let identity_map () = Array.init Res.count Res.identity_loc
+
+let last_index p = Vec.length p.vliws_on - 1
+let last_vliw p = Vec.last p.vliws_on
+let cur_tip p = Vec.last p.tips
+
+let new_vliw g precise =
+  let id = Vec.length g.page.vliws in
+  let v = T.create ~id ~precise_entry:precise in
+  Vec.push g.page.vliws v;
+  Vec.push g.page.addrs 0;
+  Vec.push g.page.sizes 0;
+  g.tr.totals.vliws_made <- g.tr.totals.vliws_made + 1;
+  v
+
+(** Open a new VLIW at the end of path [p], closing its current tip
+    with a fall-through exit. *)
+let open_vliw g p =
+  let l = Vec.length p.vliws_on in
+  let v = new_vliw g p.continuation in
+  if l > 0 then T.close (cur_tip p) (T.Next v.id);
+  (* temporaries of the instruction being scheduled stay claimed in
+     VLIWs opened while it is in flight *)
+  v.free_gprs <- v.free_gprs land lnot p.live_tg;
+  v.free_crs <- v.free_crs land lnot p.live_tc;
+  Vec.push p.vliws_on v;
+  Vec.push p.tips v.root;
+  let row =
+    if l = 0 then identity_map ()
+    else
+      Array.init Res.count (fun r ->
+          if p.commit_at.(r) < l && Res.renameable r then Res.identity_loc r
+          else p.cur_loc.(r))
+  in
+  Vec.push p.maps row
+
+let ensure_last g p v =
+  while last_index p < v do
+    open_vliw g p
+  done
+
+let init_path g addr window =
+  let p =
+    { vliws_on = Vec.create (); tips = Vec.create (); maps = Vec.create ();
+      avail = Array.make Res.count 0; commit_at = Array.make Res.count (-1);
+      defgen = Array.make Res.count 0; consts = Array.make Res.count None;
+      cur_loc = Array.init Res.count Res.identity_loc;
+      continuation = addr; prob = 1.0;
+      budget = window; floor = 0; last_store = -1; fwd = None; live_tg = 0;
+      live_tc = 0; force_rename = false; staged = []; closed = false }
+  in
+  open_vliw g p;
+  p
+
+let clone p =
+  { vliws_on = Vec.copy p.vliws_on; tips = Vec.copy p.tips;
+    maps = Vec.map_copy Array.copy p.maps; avail = Array.copy p.avail;
+    commit_at = Array.copy p.commit_at; defgen = Array.copy p.defgen;
+    consts = Array.copy p.consts; cur_loc = Array.copy p.cur_loc;
+    continuation = p.continuation;
+    prob = p.prob; budget = p.budget; floor = p.floor;
+    last_store = p.last_store; fwd = p.fwd; live_tg = p.live_tg;
+    live_tc = p.live_tc; force_rename = p.force_rename; staged = p.staged;
+    closed = p.closed }
+
+(* ------------------------------------------------------------------ *)
+(* Operand resolution                                                  *)
+
+type temps = (int, Op.loc * int) Hashtbl.t  (* temp id -> (loc, avail) *)
+
+let res_of_operand : Crack.operand -> int option = function
+  | Gpr i -> Some (Res.gpr i)
+  | Lr -> Some Res.lr
+  | Ctr -> Some Res.ctr
+  | Zero | TmpG _ -> None
+
+let operand_avail p (tg : temps) = function
+  | Crack.Zero -> 0
+  | TmpG k -> snd (Hashtbl.find tg k)
+  | o -> p.avail.(Option.get (res_of_operand o))
+
+let operand_loc p (tg : temps) v = function
+  | Crack.Zero -> Op.zero
+  | TmpG k -> fst (Hashtbl.find tg k)
+  | o -> (Vec.get p.maps v).(Option.get (res_of_operand o))
+
+let crf_res = function Crack.Crf f -> Some (Res.crf f) | TmpC _ -> None
+
+let crf_avail p (tc : temps) = function
+  | Crack.Crf f -> p.avail.(Res.crf f)
+  | TmpC k -> snd (Hashtbl.find tc k)
+
+let crf_loc p (tc : temps) v = function
+  | Crack.Crf f -> (Vec.get p.maps v).(Res.crf f)
+  | TmpC k -> fst (Hashtbl.find tc k)
+
+(* Earliest VLIW index where all of [prim]'s inputs are readable. *)
+let sources_avail p tg tc (sh : Crack.shape) =
+  let a = List.fold_left (fun acc o -> max acc (operand_avail p tg o)) 0 sh.srcs_g in
+  let a = List.fold_left (fun acc c -> max acc (crf_avail p tc c)) a sh.srcs_c in
+  let a = if sh.r_ca then max a p.avail.(Res.ca) else a in
+  let a = if sh.r_so then max a p.avail.(Res.so) else a in
+  let a = if sh.serial then max a p.avail.(Res.slow) else a in
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Register pools                                                      *)
+
+(* Bit k of [free_gprs] is register 32+k; bit k of [free_crs] is field
+   8+k.  A register picked at VLIW [v] must be free from [v] to the end
+   of the path. *)
+
+let free_gprs_until_end p v =
+  let m = ref 0xFFFF_FFFF in
+  for i = v to last_index p do
+    m := !m land (Vec.get p.vliws_on i).free_gprs
+  done;
+  !m
+
+let free_crs_until_end p v =
+  let m = ref 0xFF in
+  for i = v to last_index p do
+    m := !m land (Vec.get p.vliws_on i).free_crs
+  done;
+  !m
+
+let lowest_bit m =
+  let rec go k = if m land (1 lsl k) <> 0 then k else go (k + 1) in
+  go 0
+
+let claim_gpr p v bit =
+  for i = v to last_index p do
+    let w = Vec.get p.vliws_on i in
+    w.free_gprs <- w.free_gprs land lnot (1 lsl bit)
+  done
+
+let claim_cr p v bit =
+  for i = v to last_index p do
+    let w = Vec.get p.vliws_on i in
+    w.free_crs <- w.free_crs land lnot (1 lsl bit)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Building concrete ops from primitives                               *)
+
+let build_op p tg tc v ~spec ~passed ~dst_g ~dst_c (prim : Crack.prim) : Op.t =
+  let lg o = operand_loc p tg v o in
+  let lc c = crf_loc p tc v c in
+  let off = function Crack.OffImm i -> Op.OImm i | OffReg r -> Op.OReg (lg r) in
+  match prim with
+  | PBin { op; a; b; _ } ->
+    let ca = if op = Insn.Adde then (Vec.get p.maps v).(Res.ca) else Op.ca_loc in
+    Op.Bin { op; rt = dst_g; ra = lg a; rb = lg b; ca; spec }
+  | PBinI { op; a; imm; _ } -> Op.BinI { op; rt = dst_g; ra = lg a; imm; spec }
+  | PLogic { op; a; b; _ } -> Op.Logic { op; rt = dst_g; ra = lg a; rb = lg b; spec }
+  | PUn { op; a; _ } -> Op.Un { op; rt = dst_g; ra = lg a; spec }
+  | PSrawi { a; sh; _ } -> Op.SrawiOp { rt = dst_g; ra = lg a; sh; spec }
+  | PRlwinm { a; sh; mb; me; _ } ->
+    Op.RlwinmOp { rt = dst_g; ra = lg a; sh; mb; me; spec }
+  | PCmp { signed; a; b; _ } ->
+    Op.CmpOp { signed; crt = dst_c; ra = lg a; rb = lg b; spec }
+  | PCmpI { signed; a; imm; _ } ->
+    Op.CmpIOp { signed; crt = dst_c; ra = lg a; imm; spec }
+  | PLoad { w; alg; base; off = o; _ } ->
+    Op.LoadOp { w; alg; rt = dst_g; base = lg base; off = off o; spec; passed }
+  | PStore { w; src; base; off = o } ->
+    Op.StoreOp { w; rs = lg src; base = lg base; off = off o }
+  | PCrop { op; t = tf, tb; a = af, ab; b = bf, bb } ->
+    let old = match tf with Crack.Crf _ -> lc tf | TmpC _ -> Op.zero in
+    Op.CropOp { op; bt = (dst_c * 4) + tb; ba = (lc af * 4) + ab;
+                bb = (lc bf * 4) + bb; old; spec }
+  | PMcrf { src; _ } -> Op.McrfOp { dst = dst_c; src = lc src; spec }
+  | PMfcr _ ->
+    Op.MfcrOp { rt = dst_g; srcs = Array.init 8 (fun f -> lc (Crf f)) }
+  | PCrSet { field; src } -> Op.CrSetOp { crt = dst_c; rs = lg src; pos = field }
+  | PGetXer _ -> Op.GetXer { rt = dst_g }
+  | PSetXer { src } -> Op.SetXer { rs = lg src }
+  | PGetSpr { spr; _ } -> Op.GetSpr { rt = dst_g; spr }
+  | PSetSpr { spr; src } -> Op.SetSpr { spr; rs = lg src }
+  | PGetMsr _ -> Op.GetMsr { rt = dst_g }
+  | PSetMsr { src } -> Op.SetMsr { rs = lg src }
+
+(* The location an architected gpr-space destination writes when placed
+   in order. *)
+let inorder_dst_loc = function
+  | Some o -> (
+    match o with
+    | Crack.Gpr i -> i
+    | Lr -> Op.lr_loc
+    | Ctr -> Op.ctr_loc
+    | Zero | TmpG _ -> invalid_arg "inorder_dst_loc")
+  | None -> Op.zero
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+
+(* Make sure the last VLIW can accept the op (ALU or memory slot). *)
+let ensure_room g p ~mem_slot =
+  let cfg = g.tr.params.config in
+  let ok () =
+    let v = last_vliw p in
+    if mem_slot then Cfg.mem_ok cfg v else Cfg.alu_ok cfg v
+  in
+  while not (ok ()) do
+    open_vliw g p
+  done
+
+let bump v ~mem_slot =
+  if mem_slot then v.T.mem <- v.T.mem + 1 else v.T.alu <- v.T.alu + 1
+
+(* The commit op for resource [r] from location [src]. *)
+let commit_op r src : Op.t =
+  if r < 32 then CommitG { arch = r; src }
+  else if r = Res.lr then CommitLr { src }
+  else if r = Res.ctr then CommitCtr { src }
+  else if r = Res.ca then CommitCa { src }
+  else if Res.is_crf r then CommitCr { arch = r - 37; src }
+  else invalid_arg "commit_op"
+
+(* Place a commit op for resource [r] whose renamed value lives at
+   [src]; returns the index it was placed at. *)
+let place_commit g p r src =
+  ensure_room g p ~mem_slot:false;
+  let l = last_index p in
+  let commit = commit_op r src in
+  T.add_op (cur_tip p) g.seq commit;
+  bump (last_vliw p) ~mem_slot:false;
+  l
+
+(* After a rename of resource [r] into [dst] placed at index [v]:
+   update maps (v+1 .. last), availability, and append the commit — or,
+   when the current instruction's commits are staged (it reads a
+   register it also writes), defer the commit to the end-of-instruction
+   flush so a rollback can never observe it half-committed. *)
+let finish_rename g p r dst v =
+  for i = v + 1 to last_index p do
+    (Vec.get p.maps i).(r) <- dst
+  done;
+  p.avail.(r) <- v + 1;
+  p.commit_at.(r) <- max_int;
+  p.defgen.(r) <- p.defgen.(r) + 1;
+  p.cur_loc.(r) <- dst;
+  if p.force_rename then begin
+    (* keep the staged source claimed in VLIWs opened before the flush *)
+    if Op.is_nonarch_gpr dst then p.live_tg <- p.live_tg lor (1 lsl (dst - 32))
+    else if Op.is_nonarch_cr dst then p.live_tc <- p.live_tc lor (1 lsl (dst - 8));
+    p.staged <- (r, dst) :: p.staged
+  end
+  else (
+    let c = place_commit g p r dst in
+    p.commit_at.(r) <- c)
+
+(* In-order bookkeeping for resource [r] written at index [l]. *)
+let finish_inorder p r l =
+  p.avail.(r) <- l + 1;
+  p.commit_at.(r) <- l;
+  p.defgen.(r) <- p.defgen.(r) + 1;
+  p.cur_loc.(r) <- Res.identity_loc r
+
+exception No_pool  (* no free non-architected register anywhere *)
+
+(* Allocate a non-architected GPR free from [v] to the end of the path,
+   opening a fresh VLIW if the pool is exhausted.  Temporaries stay
+   claimed in VLIWs opened until the end of the current instruction. *)
+let alloc_gpr g p v ~temp =
+  let pick v =
+    let m = free_gprs_until_end p v in
+    if m = 0 then None
+    else (
+      let bit = lowest_bit m in
+      claim_gpr p v bit;
+      if temp then p.live_tg <- p.live_tg lor (1 lsl bit);
+      Some (32 + bit, v))
+  in
+  match pick v with
+  | Some r -> r
+  | None -> (
+    open_vliw g p;
+    match pick (last_index p) with Some r -> r | None -> raise No_pool)
+
+let alloc_cr g p v ~temp =
+  let pick v =
+    let m = free_crs_until_end p v in
+    if m = 0 then None
+    else (
+      let bit = lowest_bit m in
+      claim_cr p v bit;
+      if temp then p.live_tc <- p.live_tc lor (1 lsl bit);
+      Some (8 + bit, v))
+  in
+  match pick v with
+  | Some r -> r
+  | None -> (
+    open_vliw g p;
+    match pick (last_index p) with Some r -> r | None -> raise No_pool)
+
+(* Place one primitive on path [p] (the heart of ScheduleThreeRegOp
+   and friends). *)
+let place_prim_raw g p (tg : temps) (tc : temps) (prim : Crack.prim) =
+  let params = g.tr.params in
+  let cfg = params.config in
+  let sh = Crack.shape prim in
+  let mem_slot = sh.mem <> `No in
+  let is_load = sh.mem = `Load in
+  let is_store = sh.mem = `Store in
+  let v0 = max (sources_avail p tg tc sh) p.floor in
+  let load_spec =
+    params.load_spec && not (Hashtbl.mem g.tr.load_spec_off g.page.base)
+  in
+  let v0 = if is_load && not load_spec then max v0 (p.last_store + 1) else v0 in
+  if sh.serial then begin
+    (* Serialized system state: always alone at the start of a fresh
+       VLIW, reading and writing machine state directly. *)
+    open_vliw g p;
+    ensure_last g p v0;
+    let l = last_index p in
+    let dst_g = inorder_dst_loc sh.dst_g in
+    let op = build_op p tg tc l ~spec:false ~passed:false ~dst_g ~dst_c:0 prim in
+    T.add_op (cur_tip p) g.seq op;
+    bump (last_vliw p) ~mem_slot:false;
+    p.floor <- l + 1;
+    (match sh.dst_g with
+    | Some o -> finish_inorder p (Option.get (res_of_operand o)) l
+    | None -> ());
+    if sh.w_ca then (
+      finish_inorder p Res.ca l;
+      finish_inorder p Res.ov l;
+      finish_inorder p Res.so l);
+    finish_inorder p Res.slow l
+  end
+  else begin
+    ensure_last g p v0;
+    (* destination classification *)
+    let dst_res_g = Option.bind sh.dst_g res_of_operand in
+    let dst_res_c = Option.bind sh.dst_c crf_res in
+    let dst_tmp_g =
+      match sh.dst_g with Some (TmpG k) -> Some k | _ -> None
+    in
+    let dst_tmp_c =
+      match sh.dst_c with Some (TmpC k) -> Some k | _ -> None
+    in
+    let is_temp = dst_tmp_g <> None || dst_tmp_c <> None in
+    let wants_cr = sh.dst_c <> None in
+    (* a self-updating instruction must not write architected registers
+       in place: force its register effects through the rename+staged
+       commit path (memory and serial effects stay in order; their
+       re-execution from the instruction start is idempotent) *)
+    let forced =
+      p.force_rename && (not is_store) && not sh.serial
+      && (dst_res_g <> None || dst_res_c <> None || sh.w_ca)
+    in
+    (* find an out-of-order slot strictly before the last VLIW; pool
+       availability uses suffix-AND masks computed once (the naive
+       free-until-end recomputation per candidate is quadratic in the
+       window, which the traditional-compiler configuration exposes) *)
+    let slot =
+      if is_store || ((not params.rename) && not forced) then None
+      else (
+        let l = last_index p in
+        if v0 > l then None
+        else (
+          let n = l - v0 + 1 in
+          let suffix = Array.make (n + 1) 0xFFFF_FFFF in
+          let want_pool = wants_cr || sh.dst_g <> None in
+          if want_pool then
+            for v = l downto v0 do
+              let w = Vec.get p.vliws_on v in
+              let m = if wants_cr then w.T.free_crs else w.T.free_gprs in
+              suffix.(v - v0) <- suffix.(v - v0 + 1) land m
+            done;
+          let last_ok = is_temp || forced in
+          let rec search v =
+            if v >= l && not last_ok then None
+            else if v > l then None
+            else (
+              let w = Vec.get p.vliws_on v in
+              let res_ok =
+                if mem_slot then Cfg.mem_ok cfg w else Cfg.alu_ok cfg w
+              in
+              let pool_ok = (not want_pool) || suffix.(v - v0) <> 0 in
+              if res_ok && pool_ok then Some v else search (v + 1))
+          in
+          search v0))
+    in
+    let place_out v =
+      let dst_g_loc, dst_c_loc, v =
+        if wants_cr then (
+          let loc, v = alloc_cr g p v ~temp:(dst_tmp_c <> None) in
+          (Op.zero, loc, v))
+        else if sh.dst_g <> None then (
+          let loc, v = alloc_gpr g p v ~temp:(dst_tmp_g <> None) in
+          (loc, 0, v))
+        else (Op.zero, 0, v)
+      in
+      let passed = is_load && p.last_store >= v in
+      let op =
+        build_op p tg tc v ~spec:true ~passed ~dst_g:dst_g_loc ~dst_c:dst_c_loc
+          prim
+      in
+      T.add_op (Vec.get p.tips v) g.seq op;
+      bump (Vec.get p.vliws_on v) ~mem_slot;
+      (match (dst_tmp_g, dst_tmp_c) with
+      | Some k, _ -> Hashtbl.replace tg k (dst_g_loc, v + 1)
+      | _, Some k -> Hashtbl.replace tc k (dst_c_loc, v + 1)
+      | None, None -> (
+        (match dst_res_g with
+        | Some r -> finish_rename g p r dst_g_loc v
+        | None -> ());
+        (match dst_res_c with
+        | Some r -> finish_rename g p r dst_c_loc v
+        | None -> ());
+        if sh.w_ca then (
+          (* the carry travels in the extender bit of the renamed gpr *)
+          for i = v + 1 to last_index p do
+            (Vec.get p.maps i).(Res.ca) <- dst_g_loc
+          done;
+          p.avail.(Res.ca) <- v + 1;
+          p.commit_at.(Res.ca) <- max_int;
+          p.defgen.(Res.ca) <- p.defgen.(Res.ca) + 1;
+          p.cur_loc.(Res.ca) <- dst_g_loc;
+          if p.force_rename then begin
+            if Op.is_nonarch_gpr dst_g_loc then
+              p.live_tg <- p.live_tg lor (1 lsl (dst_g_loc - 32));
+            p.staged <- (Res.ca, dst_g_loc) :: p.staged
+          end
+          else (
+            let c = place_commit g p Res.ca dst_g_loc in
+            p.commit_at.(Res.ca) <- c))))
+    in
+    match slot with
+    | Some v -> place_out v
+    | None when is_temp || forced ->
+      (* a pool register is required; a fresh VLIW always has both a
+         slot and a free register *)
+      open_vliw g p;
+      place_out (last_index p)
+    | None ->
+      (* in-order placement in the last VLIW *)
+      ensure_room g p ~mem_slot;
+      let l = last_index p in
+      let dst_g = inorder_dst_loc sh.dst_g in
+      let dst_c = match sh.dst_c with Some (Crf f) -> f | _ -> 0 in
+      let passed = is_load && p.last_store >= l in
+      let op = build_op p tg tc l ~spec:false ~passed ~dst_g ~dst_c prim in
+      T.add_op (cur_tip p) g.seq op;
+      bump (last_vliw p) ~mem_slot;
+      if is_store then begin
+        p.last_store <- l;
+        p.fwd <-
+          (match prim with
+          | Crack.PStore { w; src = Gpr srcr; base; off } -> (
+            let off_info =
+              match off with
+              | Crack.OffImm i -> Some (FImm i)
+              | Crack.OffReg (Gpr i) ->
+                Some (FReg (Res.gpr i, p.defgen.(Res.gpr i)))
+              | Crack.OffReg _ -> None
+            in
+            match (base, off_info) with
+            | Crack.Gpr i, Some f_off ->
+              Some { f_width = w; f_base = Res.gpr i;
+                     f_base_avail = p.defgen.(Res.gpr i); f_off;
+                     f_src = Res.gpr srcr;
+                     f_src_avail = p.defgen.(Res.gpr srcr) }
+            | Crack.Zero, Some f_off ->
+              Some { f_width = w; f_base = -1; f_base_avail = 0; f_off;
+                     f_src = Res.gpr srcr;
+                     f_src_avail = p.defgen.(Res.gpr srcr) }
+            | _ -> None)
+          | _ -> None)
+      end;
+      (match dst_res_g with Some r -> finish_inorder p r l | None -> ());
+      (match dst_res_c with Some r -> finish_inorder p r l | None -> ());
+      if sh.w_ca then finish_inorder p Res.ca l
+  end
+
+(* Constant tracking over the primitives that base-register idioms are
+   made of (li/la/balr-link, address masking, shifts-as-rotates, adds of
+   constants).  Temp constants live in [tconsts] for one instruction. *)
+let const_operand p (tconsts : (int, int) Hashtbl.t) : Crack.operand -> int option
+    = function
+  | Crack.Zero -> Some 0
+  | TmpG k -> Hashtbl.find_opt tconsts k
+  | o -> (
+    match res_of_operand o with Some r -> p.consts.(r) | None -> None)
+
+let track_consts p (tconsts : (int, int) Hashtbl.t) (prim : Crack.prim) =
+  let set_dst (dst : Crack.operand) v =
+    match dst with
+    | Crack.TmpG k -> (
+      match v with
+      | Some c -> Hashtbl.replace tconsts k c
+      | None -> Hashtbl.remove tconsts k)
+    | o -> (
+      match res_of_operand o with
+      | Some r -> p.consts.(r) <- v
+      | None -> ())
+  in
+  let u32 = Ppc.Interp.u32 in
+  match prim with
+  | Crack.PBinI { op = IAdd; dst; a; imm } ->
+    set_dst dst
+      (Option.map (fun c -> u32 (c + imm)) (const_operand p tconsts a))
+  | PBin { op = Ppc.Insn.Add; dst; a; b } -> (
+    match (const_operand p tconsts a, const_operand p tconsts b) with
+    | Some x, Some y -> set_dst dst (Some (u32 (x + y)))
+    | _ -> set_dst dst None)
+  | PRlwinm { dst; a; sh; mb; me } ->
+    set_dst dst
+      (Option.map
+         (fun c ->
+           Ppc.Interp.rotl32 c sh land Ppc.Interp.mask_mb_me mb me)
+         (const_operand p tconsts a))
+  | other -> (
+    (* anything else clobbers its destination's constant *)
+    let sh = Crack.shape other in
+    match sh.dst_g with Some o -> set_dst o None | None -> ())
+
+(** Place one primitive, first applying the must-alias store-to-load
+    forwarding of Section 5: a load that provably reads the most recent
+    store's bytes becomes a register copy of the stored value. *)
+let place_prim g p (tg : temps) (tc : temps) tconsts (prim : Crack.prim) =
+  let prim =
+    if not g.tr.params.store_forward then prim
+    else
+      let off_matches f = function
+        | Crack.OffImm i -> f.f_off = FImm i
+        | Crack.OffReg (Gpr i) ->
+          f.f_off = FReg (Res.gpr i, p.defgen.(Res.gpr i))
+        | Crack.OffReg _ -> false
+      in
+      match (prim, p.fwd) with
+      | Crack.PLoad { w; alg; dst; base; off }, Some f
+        when f.f_width = w && off_matches f off
+             && (match base with
+                | Crack.Gpr i ->
+                  f.f_base = Res.gpr i
+                  && p.defgen.(Res.gpr i) = f.f_base_avail
+                | Crack.Zero -> f.f_base = -1
+                | Lr | Ctr | TmpG _ -> false)
+             && p.defgen.(f.f_src) = f.f_src_avail ->
+        let src = Crack.Gpr f.f_src in
+        (match (w, alg) with
+        | Ppc.Insn.Word, _ -> Crack.PBinI { op = IAdd; dst; a = src; imm = 0 }
+        | Byte, _ -> Crack.PBinI { op = IAnd; dst; a = src; imm = 0xFF }
+        | Half, false -> Crack.PBinI { op = IAnd; dst; a = src; imm = 0xFFFF }
+        | Half, true -> Crack.PUn { op = Extsh; dst; a = src })
+      | _ -> prim
+  in
+  place_prim_raw g p tg tc prim;
+  track_consts p tconsts prim
+
+(* Speculatively evaluate the target snapshot (TmpG 0) of an indirect
+   branch, plugging in run-time values from [hint] for unknown
+   architected registers.  Returns the would-be target together with
+   the set of registers whose hinted values it depends on; a one-element
+   set can be turned into a guard. *)
+let spec_eval_target p (prims : Crack.prim list) hint =
+  let module IS = Set.Make (Int) in
+  let tmp : (int, int * IS.t) Hashtbl.t = Hashtbl.create 4 in
+  let u32 = Ppc.Interp.u32 in
+  let operand : Crack.operand -> (int * IS.t) option = function
+    | Crack.Zero -> Some (0, IS.empty)
+    | TmpG k -> Hashtbl.find_opt tmp k
+    | o -> (
+      let r = Option.get (res_of_operand o) in
+      match p.consts.(r) with
+      | Some c -> Some (c, IS.empty)
+      | None -> Some (hint r, IS.singleton r))
+  in
+  let set_dst (dst : Crack.operand) v =
+    match dst with
+    | Crack.TmpG k -> (
+      match v with
+      | Some x -> Hashtbl.replace tmp k x
+      | None -> Hashtbl.remove tmp k)
+    | _ -> ()
+  in
+  let killed = ref IS.empty in
+  List.iter
+    (fun (prim : Crack.prim) ->
+      (match prim with
+      | Crack.PBinI { op = IAdd; dst; a; imm } ->
+        set_dst dst
+          (Option.map (fun (c, d) -> (u32 (c + imm), d)) (operand a))
+      | PBin { op = Ppc.Insn.Add; dst; a; b } -> (
+        match (operand a, operand b) with
+        | Some (x, dx), Some (y, dy) ->
+          set_dst dst (Some (u32 (x + y), IS.union dx dy))
+        | _ -> set_dst dst None)
+      | PRlwinm { dst; a; sh; mb; me } ->
+        set_dst dst
+          (Option.map
+             (fun (c, d) ->
+               (Ppc.Interp.rotl32 c sh land Ppc.Interp.mask_mb_me mb me, d))
+             (operand a))
+      | other -> set_dst (match (Crack.shape other).dst_g with Some o -> o | None -> Crack.Zero) None);
+      (* a write to an architected register invalidates hints taken
+         from it earlier in this instruction *)
+      match (Crack.shape prim).dst_g with
+      | Some o -> (
+        match res_of_operand o with
+        | Some r -> killed := IS.add r !killed
+        | None -> ())
+      | None -> ())
+    prims;
+  (!killed, Hashtbl.find_opt tmp 0)
+
+(* The would-be target and its single register dependency, either from
+   the cracked snapshot expression or synthesized for a bare LR/CTR
+   branch using the front end's architected target masking. *)
+let spec_target g p prims (target : Crack.target) hint =
+  let module IS = Set.Make (Int) in
+  let killed, snap = spec_eval_target p prims hint in
+  match snap with
+  | Some (v, deps) when IS.is_empty (IS.inter deps killed) -> (
+    match IS.elements deps with
+    | [] -> None  (* pure constant: rewrite_target already covers it *)
+    | [ r ] -> Some (v land lnot 1, r)
+    | _ -> None)
+  | Some _ -> None
+  | None -> (
+    let bare r =
+      if IS.mem r killed || p.consts.(r) <> None then None
+      else Some (hint r land g.tr.fe.Frontend.target_mask, r)
+    in
+    match target with
+    | Crack.ViaLr -> bare Res.lr
+    | ViaCtr -> bare Res.ctr
+    | ViaReg _ | Direct _ -> None)
+
+(* The indirect-to-direct branch conversion: if the target register (or
+   the snapshot temporary the cracker computed the target into) holds a
+   known constant on this path, the branch becomes direct — without
+   this, S/390 code never straightens (all its branches are indirect). *)
+let rewrite_target p (tconsts : (int, int) Hashtbl.t) (target : Crack.target) =
+  match target with
+  | Crack.Direct _ -> target
+  | ViaReg _ | ViaLr | ViaCtr -> (
+    let v =
+      match Hashtbl.find_opt tconsts 0 with
+      | Some c -> Some c
+      | None -> (
+        match target with
+        | Crack.ViaReg r -> p.consts.(Res.gpr r)
+        | ViaLr -> p.consts.(Res.lr)
+        | ViaCtr -> p.consts.(Res.ctr)
+        | Direct _ -> None)
+    in
+    match v with
+    | Some c -> Crack.Direct (c land lnot 1)
+    | None -> target)
+
+(* ------------------------------------------------------------------ *)
+(* Control flow                                                        *)
+
+let in_page g addr = addr >= g.page.base && addr < g.page.base + g.page.psize
+
+let offset_of g addr = addr - g.page.base
+
+(* Close the current tip of [p] with [exit]. *)
+let close_tip g p exit =
+  (match exit with
+  | T.OnPage off ->
+    if not (Hashtbl.mem g.page.entries off) then
+      g.pending <- off :: g.pending
+  | _ -> ());
+  T.close (cur_tip p) exit;
+  p.closed <- true
+
+(* Close [p] jumping to base address [addr] (on- or off-page). *)
+let close_to g p addr =
+  if in_page g addr then close_tip g p (T.OnPage (offset_of g addr))
+  else close_tip g p (T.OffPage addr)
+
+(* Close with an indirect branch through LR or CTR (or a temporary
+   holding the pre-link value). *)
+let close_indirect g p (tg : temps) target =
+  let r, kind =
+    match target with
+    | Crack.ViaLr -> (Res.lr, `Lr)
+    | ViaCtr -> (Res.ctr, `Ctr)
+    | ViaReg i -> (Res.gpr i, `Gpr)
+    | Direct _ -> invalid_arg "close_indirect"
+  in
+  match Hashtbl.find_opt tg 0 with
+  | Some (loc, av) when kind <> `Ctr ->
+    (* branch-and-link through the target register: the pre-link value
+       was snapshotted into temp 0 by the cracker *)
+    ensure_last g p (av - 1);
+    close_tip g p (T.Indirect (loc, kind))
+  | _ ->
+    (* all commits for r must have landed *)
+    if p.commit_at.(r) <> -1 && p.commit_at.(r) <> max_int then
+      ensure_last g p p.commit_at.(r);
+    ensure_last g p (p.avail.(r) - 1);
+    close_tip g p (T.Indirect (Res.identity_loc r, kind))
+
+let guess_prob params ~hint ~backward ~pc =
+  let from_profile =
+    match params.Params.profile with
+    | None -> None
+    | Some tbl -> (
+      match Hashtbl.find_opt tbl pc with
+      | Some (t, n) when n > 0 ->
+        Some (Float.max 0.02 (Float.min 0.98 (float_of_int t /. float_of_int n)))
+      | _ -> None)
+  in
+  match from_profile with
+  | Some p -> p
+  | None ->
+    if hint then params.Params.prob_hint
+    else if backward then params.Params.prob_backward
+    else params.Params.prob_forward
+
+(* Schedule a conditional branch: split the tree at the last VLIW and
+   fork the path (ScheduleBranchCond).  [ctr_commit] places the commit
+   of the decremented CTR (left in TmpG Crack.ctr_tmp) in the branch's
+   own VLIW, above the split, so the branch instruction commits
+   atomically with respect to precise points. *)
+let sched_cond_branch ?(close_taken = true) g p (tg : temps) (tc : temps)
+    ~test:(cop, bitpos) ~sense ~target ~hint ~late_commit ~len pc =
+  let params = g.tr.params in
+  ensure_last g p (crf_avail p tc cop);
+  if late_commit <> None then
+    ensure_last g p (snd (Hashtbl.find tg Crack.ctr_tmp) - 1);
+  let room_ok () =
+    Cfg.br_ok params.config (last_vliw p)
+    && (late_commit = None || Cfg.alu_ok params.config (last_vliw p))
+  in
+  while not (room_ok ()) do
+    open_vliw g p
+  done;
+  (match late_commit with
+  | None -> ()
+  | Some operand ->
+    (* the decremented register is committed in the branch's own VLIW
+       so the instruction commits atomically at precise points *)
+    let r = Option.get (res_of_operand operand) in
+    let loc, av = Hashtbl.find tg Crack.ctr_tmp in
+    T.add_op (cur_tip p) g.seq (commit_op r loc);
+    bump (last_vliw p) ~mem_slot:false;
+    let l = last_index p in
+    for i = av to l do
+      (Vec.get p.maps i).(r) <- loc
+    done;
+    p.avail.(r) <- av;
+    p.commit_at.(r) <- l;
+    p.defgen.(r) <- p.defgen.(r) + 1;
+    p.cur_loc.(r) <- loc;
+    p.consts.(r) <- None);
+  let l = last_index p in
+  let floc = crf_loc p tc l cop in
+  let test : T.test = { bit = (floc * 4) + bitpos; sense } in
+  let taken, fall = T.split (cur_tip p) test in
+  (last_vliw p).br <- (last_vliw p).br + 1;
+  let p2 = clone p in
+  Vec.set p2.tips l taken;
+  Vec.set p.tips l fall;
+  let backward = match target with Crack.Direct t -> t <= pc | _ -> false in
+  let pt = guess_prob params ~hint ~backward ~pc in
+  p2.prob <- p.prob *. pt;
+  p.prob <- p.prob *. (1. -. pt);
+  p.continuation <- pc + len;
+  (match target with
+  | Crack.Direct t ->
+    p2.continuation <- t;
+    if not (in_page g t) then close_tip g p2 (T.OffPage t)
+  | ViaLr | ViaCtr | ViaReg _ ->
+    if close_taken then close_indirect g p2 tg target);
+  if not params.multipath then begin
+    (* keep only the more probable side *)
+    let keep_taken = pt >= 0.5 in
+    let doomed = if keep_taken then p else p2 in
+    if not doomed.closed then close_to g doomed doomed.continuation
+  end;
+  p2
+
+(* Flush the staged architected commits of a self-updating instruction:
+   commits whose destination is not an input of the instruction may
+   spill across VLIWs (re-execution from the instruction start is then
+   idempotent), but every input-modifying commit lands in one final
+   VLIW, so no precise point ever sees the instruction half-applied. *)
+let flush_staged g p (reads : int list) =
+  match p.staged with
+  | [] -> ()
+  | staged ->
+    let staged = List.rev staged in
+    let ready =
+      List.fold_left (fun acc (r, _) -> max acc p.avail.(r)) 0 staged
+    in
+    ensure_last g p ready;
+    let safe, unsafe = List.partition (fun (r, _) -> not (List.mem r reads)) staged in
+    List.iter
+      (fun (r, src) ->
+        let c = place_commit g p r src in
+        p.commit_at.(r) <- c)
+      safe;
+    (match unsafe with
+    | [] -> ()
+    | _ ->
+      let n = List.length unsafe in
+      let cfg = g.tr.params.config in
+      let fits_block () =
+        let v = last_vliw p in
+        Vliw.Config.fits cfg ~alu:(v.T.alu + n) ~mem:v.T.mem ~br:v.T.br
+      in
+      while not (fits_block ()) do
+        open_vliw g p
+      done;
+      List.iter
+        (fun (r, src) ->
+          let c = place_commit g p r src in
+          p.commit_at.(r) <- c)
+        unsafe);
+    p.staged <- []
+
+(* Guarded inlining of an indirect branch (Chapter 6): compare the one
+   register the target depends on against its value observed at
+   translation time; on a match continue straight-line at the observed
+   target, otherwise exit indirect.  Returns the matching-side path. *)
+let try_guard g p (tg : temps) (tc : temps) tconsts prims target pc =
+  if (not g.tr.params.guard_indirect) || (not g.hint_ok) || p.closed then None
+  else
+    match g.tr.guard_hint with
+    | None -> None
+    | Some hint -> (
+      match spec_target g p prims target hint with
+      | None -> None
+      | Some (tgt_val, dep) ->
+        if not (in_page g tgt_val) then None
+        else (
+          let dep_operand =
+            if dep < 32 then Crack.Gpr dep
+            else if dep = Res.lr then Crack.Lr
+            else Crack.Ctr
+          in
+          if Sys.getenv_opt "DAISY_DEBUG_GUARD" <> None then
+            Printf.printf "GUARD pc=%x dep=%d imm=%x tgt=%x\n%!" pc dep
+              (hint dep) tgt_val;
+          match
+            place_prim g p tg tc tconsts
+              (Crack.PCmpI
+                 { signed = true; dst = TmpC 2; a = dep_operand; imm = hint dep })
+          with
+          | exception No_pool -> None
+          | () ->
+            if p.closed then None
+            else begin
+              let p3 =
+                sched_cond_branch g p tg tc
+                  ~test:(Crack.TmpC 2, Ppc.Insn.Crbit.eq) ~sense:true
+                  ~target:(Crack.Direct tgt_val) ~hint:true ~late_commit:None
+                  ~len:0 pc
+              in
+              (* [p] is now the mismatch side *)
+              if not p.closed then close_indirect g p tg target;
+              Some p3
+            end))
+
+(* ------------------------------------------------------------------ *)
+(* Per-instruction driver                                              *)
+
+(* Schedule the instruction at the continuation of [p]; may close [p]
+   and may return a freshly forked path. *)
+let step g p : path option =
+  let params = g.tr.params in
+  let pc = p.continuation in
+  if not (in_page g pc) then (
+    close_tip g p (T.OffPage pc);
+    None)
+  else if
+    (match Hashtbl.find_opt g.visits pc with Some n -> n | None -> 0)
+    > params.join_limit
+  then (
+    close_to g p pc;
+    None)
+  else if p.budget <= 0 then (
+    close_to g p pc;
+    None)
+  else begin
+    match g.tr.fe.decode_crack g.tr.mem pc with
+    | None ->
+      close_tip g p (T.Trap (Tillegal pc));
+      None
+    | Some (cracked, len) ->
+      (* temporaries of the previous instruction are dead now *)
+      p.live_tg <- 0;
+      p.live_tc <- 0;
+      (* does this instruction read any architected register it also
+         writes?  then its commits must be staged (precise exceptions) *)
+      let reads, writes =
+        List.fold_left
+          (fun (rs, ws) prim ->
+            let sh = Crack.shape prim in
+            let rs =
+              List.fold_left
+                (fun acc o ->
+                  match res_of_operand o with Some r -> r :: acc | None -> acc)
+                rs sh.srcs_g
+            in
+            let rs =
+              List.fold_left
+                (fun acc c ->
+                  match crf_res c with Some r -> r :: acc | None -> acc)
+                rs sh.srcs_c
+            in
+            let rs = if sh.r_ca then Res.ca :: rs else rs in
+            let ws =
+              match Option.bind sh.dst_g res_of_operand with
+              | Some r -> r :: ws
+              | None -> ws
+            in
+            let ws =
+              match Option.bind sh.dst_c crf_res with
+              | Some r -> r :: ws
+              | None -> ws
+            in
+            let ws = if sh.w_ca then Res.ca :: ws else ws in
+            (rs, ws))
+          ([], []) cracked.prims
+      in
+      p.force_rename <- List.exists (fun w -> List.mem w reads) writes;
+      p.staged <- [];
+      Hashtbl.replace g.visits pc
+        (1 + match Hashtbl.find_opt g.visits pc with Some n -> n | None -> 0);
+      p.budget <- p.budget - 1;
+      g.seq <- g.seq + 1;
+      g.tr.totals.insns <- g.tr.totals.insns + 1;
+      g.page.insns_scheduled <- g.page.insns_scheduled + 1;
+      let tg : temps = Hashtbl.create 4 and tc : temps = Hashtbl.create 4 in
+      let tconsts : (int, int) Hashtbl.t = Hashtbl.create 4 in
+      (try
+         List.iter (place_prim g p tg tc tconsts) cracked.prims;
+         flush_staged g p reads;
+         p.force_rename <- false
+       with No_pool ->
+         (* pool exhausted even in a fresh VLIW: give up on this path *)
+         p.staged <- [];
+         p.force_rename <- false;
+         close_to g p pc);
+      if p.closed then None
+      else (
+        match cracked.control with
+        | Fallthru ->
+          p.continuation <- pc + len;
+          None
+        | Jump target -> (
+          match rewrite_target p tconsts target with
+          | Direct t ->
+            if in_page g t then (
+              p.continuation <- t;
+              None)
+            else (
+              close_tip g p (T.OffPage t);
+              None)
+          | target -> (
+            match try_guard g p tg tc tconsts cracked.prims target pc with
+            | Some p3 -> Some p3
+            | None ->
+              close_indirect g p tg target;
+              None))
+        | CondJump { test; sense; target; hint; late_commit } -> (
+          let target = rewrite_target p tconsts target in
+          match target with
+          | Direct _ ->
+            Some
+              (sched_cond_branch g p tg tc ~test ~sense ~target ~hint
+                 ~late_commit ~len pc)
+          | _ when late_commit <> None ->
+            (* no guarding for decrement-and-branch: the decrement is
+               committed above the split, so any VLIW opened while
+               composing the guard would carry a stale precise point
+               and a rollback there would re-decrement *)
+            Some
+              (sched_cond_branch g p tg tc ~test ~sense ~target ~hint
+                 ~late_commit ~len pc)
+          | _ ->
+            let p2 =
+              sched_cond_branch ~close_taken:false g p tg tc ~test ~sense
+                ~target ~hint ~late_commit ~len pc
+            in
+            if p2.closed then Some p2
+            else (
+              match
+                try_guard g p2 tg tc tconsts cracked.prims target pc
+              with
+              | Some p3 ->
+                (* the mismatch side p2 was closed by try_guard *)
+                Some p3
+              | None ->
+                close_indirect g p2 tg target;
+                Some p2))
+        | TrapC trap ->
+          close_tip g p (T.Trap trap);
+          None)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Groups, entries, worklist                                           *)
+
+let insert_sorted paths p =
+  let rec go = function
+    | [] -> [ p ]
+    | q :: rest when q.prob >= p.prob -> q :: go rest
+    | rest -> p :: rest
+  in
+  go paths
+
+(* CreateVLIWGroupForEntry. *)
+let translate_group ?(hint_ok = false) t page off =
+  let g =
+    { tr = t; page; paths = []; visits = Hashtbl.create 64; seq = 0;
+      pending = []; first_vliw = Vec.length page.vliws; hint_ok }
+  in
+  let p0 = init_path g (page.base + off) t.params.window in
+  let root = Vec.get p0.vliws_on 0 in
+  root.is_entry <- true;
+  Hashtbl.replace page.entries off root.id;
+  t.totals.entry_points <- t.totals.entry_points + 1;
+  t.totals.groups <- t.totals.groups + 1;
+  g.paths <- [ p0 ];
+  let rec loop () =
+    match g.paths with
+    | [] -> ()
+    | p :: rest ->
+      g.paths <- rest;
+      let forked = step g p in
+      if not p.closed then g.paths <- insert_sorted g.paths p;
+      (match forked with
+      | Some p2 when not p2.closed -> g.paths <- insert_sorted g.paths p2
+      | _ -> ());
+      loop ()
+  in
+  loop ();
+  (* lay the new VLIWs out in the translated-code area *)
+  for id = g.first_vliw to Vec.length page.vliws - 1 do
+    let v = Vec.get page.vliws id in
+    let sz = Vliw.Layout.size v in
+    Vec.set page.addrs id page.next_addr;
+    Vec.set page.sizes id sz;
+    page.next_addr <- page.next_addr + sz;
+    page.code_bytes <- page.code_bytes + sz;
+    t.totals.code_bytes <- t.totals.code_bytes + sz
+  done;
+  g.pending
+
+(** Ensure base address [addr] has a valid translated entry point;
+    translates its group (and, eagerly, the groups its paths stop at)
+    if needed.  Returns the page and root VLIW id. *)
+let entry t addr =
+  let page = page_of t addr in
+  let off = addr - page.base in
+  (match Hashtbl.find_opt page.entries off with
+  | Some _ -> ()
+  | None ->
+    let wl = Queue.create () in
+    Queue.add off wl;
+    let first = ref true in
+    while not (Queue.is_empty wl) do
+      let o = Queue.pop wl in
+      let hint_ok = !first in
+      first := false;
+      if not (Hashtbl.mem page.entries o) then
+        List.iter (fun o' -> Queue.add o' wl)
+          (translate_group ~hint_ok t page o)
+    done);
+  (page, Hashtbl.find page.entries off)

@@ -1,0 +1,1 @@
+lib/vliw/config.ml: Array Tree

@@ -1,0 +1,1 @@
+lib/vliw/exec.ml: Array Insn Int64 Interp List Machine Mem Op Ppc Tree Vstate

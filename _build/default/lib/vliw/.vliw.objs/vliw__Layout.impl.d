@@ -1,0 +1,1 @@
+lib/vliw/layout.ml: List Tree

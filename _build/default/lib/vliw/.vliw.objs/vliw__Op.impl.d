@@ -1,0 +1,1 @@
+lib/vliw/op.ml: Format Ppc

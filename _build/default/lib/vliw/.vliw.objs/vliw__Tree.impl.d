@@ -1,0 +1,1 @@
+lib/vliw/tree.ml: Format List Op String

@@ -1,0 +1,1 @@
+lib/vliw/vstate.ml: Array Op Ppc

@@ -1,0 +1,50 @@
+(* VLIW machine resource configurations.
+
+   The paper's Figure 5.1 sweeps ten configurations described as
+   "#Issue - #ALU - #MemAcc - #Branches"; the experiments additionally
+   use a big 24-issue default and the 8-issue machine of Table 5.5. *)
+
+type t = {
+  name : string;
+  issue : int;     (** total ALU + memory operations per VLIW *)
+  alu : int;       (** ALU operations (commits/copies included) *)
+  mem : int;       (** memory accesses *)
+  branches : int;  (** conditional branches per tree instruction *)
+}
+
+let make name issue alu mem branches = { name; issue; alu; mem; branches }
+
+(** The ten configurations of Figure 5.1, in paper order (1..10). *)
+let figure_5_1 =
+  [| make "4-2-2-1" 4 2 2 1;
+     make "4-4-2-2" 4 4 2 2;
+     make "4-4-4-3" 4 4 4 3;
+     make "6-6-3-3" 6 6 3 3;
+     make "8-8-4-3" 8 8 4 3;
+     make "8-8-4-7" 8 8 4 7;
+     make "8-8-8-7" 8 8 8 7;
+     make "12-12-8-7" 12 12 8 7;
+     make "16-16-8-7" 16 16 8 7;
+     make "24-16-8-7" 24 16 8 7 |]
+
+(** The big machine used for Tables 5.1, 5.3, 5.4: 24 ops per VLIW of
+    which 8 may be memory accesses, with 7 conditional branches. *)
+let default = figure_5_1.(9)
+
+(** The 8-issue machine of Table 5.5 (at most 4 memory ops, 3 branches). *)
+let eight_issue = figure_5_1.(4)
+
+(** [fits cfg ~alu ~mem ~br] tells whether a VLIW with the given
+    occupancy is within the configuration's resources. *)
+let fits cfg ~alu ~mem ~br =
+  alu <= cfg.alu && mem <= cfg.mem && alu + mem <= cfg.issue
+  && br <= cfg.branches
+
+(** Room for one more ALU op (commit or compute). *)
+let alu_ok cfg (v : Tree.t) = fits cfg ~alu:(v.alu + 1) ~mem:v.mem ~br:v.br
+
+(** Room for one more memory op. *)
+let mem_ok cfg (v : Tree.t) = fits cfg ~alu:v.alu ~mem:(v.mem + 1) ~br:v.br
+
+(** Room for one more conditional branch. *)
+let br_ok cfg (v : Tree.t) = fits cfg ~alu:v.alu ~mem:v.mem ~br:(v.br + 1)

@@ -1,0 +1,1 @@
+lib/vmm/monitor.ml: Array Hashtbl Interp List Machine Mem Memsys Ppc Translator Vliw

@@ -1,0 +1,1 @@
+lib/vmm/run.ml: Bytes Interp Machine Mem Memsys Monitor Ppc Printf Translator Vliw Workloads

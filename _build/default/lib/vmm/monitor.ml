@@ -1,0 +1,357 @@
+(* The Virtual Machine Monitor (Chapter 3).
+
+   Owns the execution of translated code and every event the paper's
+   VMM fields:
+
+   - "translation missing" / "invalid entry": a branch lands on a base
+     address with no valid translated entry point; the translator is
+     invoked and execution resumes in the fresh VLIWs;
+   - exceptions inside a VLIW (page faults, tagged-register consumption,
+     deferred I/O-space loads): the VLIW is rolled back — it has
+     whole-instruction semantics — and the VMM re-executes from the
+     precise base address at VLIW entry *by interpretation*, which
+     re-raises the fault exactly where the base architecture would and
+     delivers it to the base OS through the architected vectors;
+   - run-time aliasing between a speculative load that bypassed a store
+     and that store: rollback plus an interpretation episode;
+   - self-modifying code: stores into pages whose translation exists
+     trip the per-page read-only bit, the translation is invalidated and
+     execution continues from the next precise point;
+   - rfi: per Section 3.4, the VMM interprets from the rfi target until
+     the next call, cross-page branch or backward branch, then re-enters
+     translated code at a (possibly fresh) valid entry point. *)
+
+module T = Vliw.Tree
+module Exec = Vliw.Exec
+module Translate = Translator.Translate
+module Params = Translator.Params
+module Vec = Translator.Vec
+open Ppc
+
+type stats = {
+  mutable vliws : int;            (** tree VLIWs executed *)
+  mutable interp_insns : int;     (** base instructions run by interpretation *)
+  mutable interp_episodes : int;
+  mutable rollbacks : int;
+  mutable aliases : int;          (** alias rollbacks (Table 5.7) *)
+  mutable cross_direct : int;     (** cross-page branches (Table 5.6) *)
+  mutable cross_lr : int;
+  mutable cross_ctr : int;
+  mutable cross_gpr : int;  (** register-indirect (S/390-style) *)
+  mutable onpage_jumps : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable vliws_with_load_miss : int;  (** set by the cache hooks *)
+  mutable syscalls : int;
+  mutable external_interrupts : int;
+  mutable adaptive_retranslations : int;
+  mutable code_invalidations : int;
+  mutable stall_cycles : int;     (** finite-cache stalls *)
+  mutable itlb_misses : int;
+}
+
+let fresh_stats () =
+  { vliws = 0; interp_insns = 0; interp_episodes = 0; rollbacks = 0;
+    aliases = 0; cross_direct = 0; cross_lr = 0; cross_ctr = 0; cross_gpr = 0;
+    onpage_jumps = 0; loads = 0; stores = 0; vliws_with_load_miss = 0;
+    syscalls = 0; external_interrupts = 0; adaptive_retranslations = 0;
+    code_invalidations = 0; stall_cycles = 0; itlb_misses = 0 }
+
+type t = {
+  tr : Translate.t;
+  st : Vliw.Vstate.t;
+  fe : Translator.Frontend.t;
+  interp_step : unit -> unit;
+  mem : Mem.t;
+  stats : stats;
+  mutable spec_log : Exec.access list;
+      (** speculative loads that bypassed stores, outstanding in the
+          current group execution *)
+  mutable current_page : int;  (** base of the page we are executing *)
+  mutable invalidated : bool;  (** current page's translation was dropped *)
+  mutable pending_selfmod : bool;
+      (** the VLIW being checked stores into the page it executes from *)
+  mutable fetch_hook : (addr:int -> size:int -> unit) option;
+      (** I-cache model: called once per VLIW executed *)
+  mutable access_hook : (Exec.access -> unit) option;
+      (** D-cache model: called per memory access *)
+  mutable interp_fetch_hook : (int -> unit) option;
+      (** I-side hook for interpreted instructions *)
+  mutable timer_interval : int option;
+      (** deliver an external interrupt every N VLIWs (when MSR.EE) *)
+  mutable timer_count : int;
+  alias_tally : (int, int) Hashtbl.t;  (** alias rollbacks per page *)
+  itlb : Memsys.Tlb.t;
+      (** backs GO_ACROSS_PAGE (Section 3.4): maps base page numbers to
+          translated frames; misses charge the micro-interrupt handler *)
+  mutable itlb_miss_cost : int;
+  mutable code_budget : int option;
+      (** bound on live translated-code bytes; exceeding it casts out
+          the least-recently-entered page translations (Section 3.1) *)
+  mutable pinned : (int, unit) Hashtbl.t;
+      (** pages never cast out (interrupt handlers etc., Section 3.7) *)
+  lru : (int, int) Hashtbl.t;  (** page base -> last-entered stamp *)
+  mutable lru_tick : int;
+  mutable castouts : int;
+  max_episode : int;
+}
+
+let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc) mem =
+  let m = Machine.create () in
+  let st = Vliw.Vstate.create m in
+  let tr = Translate.create ~frontend params mem in
+  let t =
+    { tr; st; fe = frontend; interp_step = frontend.make_step m mem; mem;
+      stats = fresh_stats ();
+      spec_log = []; current_page = -1; invalidated = false;
+      pending_selfmod = false; fetch_hook = None; access_hook = None;
+      interp_fetch_hook = None; timer_interval = None; timer_count = 0;
+      alias_tally = Hashtbl.create 8;
+      itlb = Memsys.Tlb.create ~entries:64 ~assoc:4 (); itlb_miss_cost = 10;
+      code_budget = None; pinned = Hashtbl.create 4; lru = Hashtbl.create 32;
+      lru_tick = 0; castouts = 0; max_episode = 64 }
+  in
+  (* feed run-time register values to the translator's guarded inlining
+     of indirect branches (Chapter 6) *)
+  tr.guard_hint <-
+    Some
+      (fun r ->
+        if r < 32 then m.gpr.(r)
+        else if r = Translator.Res.lr then m.lr
+        else m.ctr);
+  (* the per-unit read-only bit: stores into translated pages invalidate *)
+  if params.watch_code then
+    mem.on_store <-
+      Some
+        (fun addr _n ->
+          if Translate.translated tr addr then (
+            Translate.invalidate tr addr;
+            t.stats.code_invalidations <- t.stats.code_invalidations + 1;
+            if Translate.page_base tr addr = t.current_page then
+              t.invalidated <- true));
+  t
+
+let overlap (a : Exec.access) (b : Exec.access) =
+  a.addr < b.addr + b.bytes && b.addr < a.addr + a.bytes
+
+(* The runtime alias check of Section 2.1 / Table 5.7: a store conflicts
+   with a speculative load that is later in program order but already
+   executed. *)
+let alias_check t (accesses : Exec.access list) =
+  (* a store into the very page we are executing must roll the VLIW
+     back: instructions after the store may have been translated from
+     the code it just overwrote (Section 3.2) *)
+  if
+    t.tr.params.watch_code
+    && List.exists
+      (fun (a : Exec.access) ->
+        a.store && a.addr land lnot (t.tr.params.page_size - 1) = t.current_page)
+      accesses
+  then (
+    t.pending_selfmod <- true;
+    false)
+  else
+  let loads =
+    List.filter (fun (a : Exec.access) -> (not a.store) && a.passed_store)
+      accesses
+    @ t.spec_log
+  in
+  let stores = List.filter (fun (a : Exec.access) -> a.store) accesses in
+  not
+    (List.exists
+       (fun (s : Exec.access) ->
+         List.exists
+           (fun (l : Exec.access) -> l.seq > s.seq && overlap l s)
+           loads)
+       stores)
+
+(* Interpret from [start] until the next call, cross-page branch,
+   backward branch, sc/rfi, or the episode cap — then return the next
+   base address to re-enter translated code at (Section 3.4). *)
+let interpret_episode t start =
+  let m = t.st.m in
+  Vliw.Vstate.clear_nonarch t.st;
+  m.pc <- start;
+  t.stats.interp_episodes <- t.stats.interp_episodes + 1;
+  let page_mask = lnot (t.tr.params.page_size - 1) in
+  let rec go n =
+    let pc = m.pc in
+    let stop_kind = t.fe.is_episode_stop t.mem pc in
+    (match t.interp_fetch_hook with Some f -> f pc | None -> ());
+    t.interp_step ();
+    t.stats.interp_insns <- t.stats.interp_insns + 1;
+    let crossed = m.pc land page_mask <> pc land page_mask in
+    let backward = m.pc < pc in
+    if n > 1 && not (stop_kind || crossed || backward) then go (n - 1)
+  in
+  go t.max_episode;
+  m.pc
+
+exception Out_of_fuel
+
+exception Deliver of int
+(** internal: unwind to the driver and resume at an interrupt vector *)
+
+(** Run translated execution starting at base address [entry] until the
+    program halts; returns the exit code. *)
+let run t ~entry ~fuel =
+  let stats = t.stats in
+  let fuel_left = ref fuel in
+  (* resolve a base address to a translated position; this is the
+     GO_ACROSS_PAGE path, so it consults the ITLB and maintains the
+     cast-out pool *)
+  let rec goto_base addr =
+    t.spec_log <- [];
+    let addr = addr land lnot 1 in
+    if not (Memsys.Tlb.touch t.itlb (addr / t.tr.params.page_size)) then begin
+      stats.itlb_misses <- stats.itlb_misses + 1;
+      stats.stall_cycles <- stats.stall_cycles + t.itlb_miss_cost
+    end;
+    let page, id = Translate.entry t.tr addr in
+    t.lru_tick <- t.lru_tick + 1;
+    Hashtbl.replace t.lru page.base t.lru_tick;
+    (match t.code_budget with
+    | Some budget -> evict_to budget page.base
+    | None -> ());
+    t.current_page <- page.base;
+    t.invalidated <- false;
+    exec_at page id
+  and evict_to budget current =
+    (* cast out least-recently-entered translations until within budget *)
+    let live () =
+      Hashtbl.fold (fun _ (p : Translate.xpage) acc -> acc + p.code_bytes)
+        t.tr.pages 0
+    in
+    let continue_ = ref (live () > budget) in
+    while !continue_ do
+      let victim = ref (-1) and best = ref max_int in
+      Hashtbl.iter
+        (fun base (_ : Translate.xpage) ->
+          if base <> current && not (Hashtbl.mem t.pinned base) then (
+            let stamp =
+              match Hashtbl.find_opt t.lru base with Some s -> s | None -> 0
+            in
+            if stamp < !best then (
+              best := stamp;
+              victim := base)))
+        t.tr.pages;
+      if !victim < 0 then continue_ := false
+      else begin
+        Translate.invalidate t.tr !victim;
+        Memsys.Tlb.flush t.itlb;
+        t.castouts <- t.castouts + 1;
+        continue_ := live () > budget
+      end
+    done
+  and recover_at addr =
+    let next = interpret_episode t (addr land lnot 1) in
+    goto_base next
+  and exec_at (page : Translate.xpage) id =
+    decr fuel_left;
+    if !fuel_left <= 0 then raise Out_of_fuel;
+    (match t.timer_interval with
+    | Some n ->
+      t.timer_count <- t.timer_count + 1;
+      if t.timer_count >= n && t.st.m.msr land Machine.Msr.ee <> 0 then begin
+        (* external interrupt: state at a VLIW boundary is precise *)
+        t.timer_count <- 0;
+        stats.external_interrupts <- stats.external_interrupts + 1;
+        let vliw = Vec.get page.vliws id in
+        Interp.interrupt t.st.m ~return_pc:vliw.precise_entry
+          Interp.Vector.external_;
+        raise (Deliver t.st.m.pc)
+      end
+    | None -> ());
+    let vliw = Vec.get page.vliws id in
+    if vliw.is_entry then t.spec_log <- [];
+    (match t.fetch_hook with
+    | Some f -> f ~addr:(Vec.get page.addrs id) ~size:(Vec.get page.sizes id)
+    | None -> ());
+    stats.vliws <- stats.vliws + 1;
+    match Exec.run t.st t.mem ~alias_check:(alias_check t) vliw with
+    | Rollback reason ->
+      stats.rollbacks <- stats.rollbacks + 1;
+      (match reason with
+      | Ralias when t.pending_selfmod -> t.pending_selfmod <- false
+      | Ralias ->
+        stats.aliases <- stats.aliases + 1;
+        if t.tr.params.adaptive_alias then begin
+          let n =
+            1
+            + match Hashtbl.find_opt t.alias_tally t.current_page with
+              | Some n -> n
+              | None -> 0
+          in
+          Hashtbl.replace t.alias_tally t.current_page n;
+          (* frequent aliasing: retranslate this page with load
+             speculation inhibited (Section 5's suggested refinement) *)
+          if n = 32 then begin
+            Translate.inhibit_load_spec t.tr t.current_page;
+            Translate.invalidate t.tr t.current_page;
+            stats.adaptive_retranslations <- stats.adaptive_retranslations + 1
+          end
+        end
+      | Rfault _ | Rtag _ -> ());
+      recover_at vliw.precise_entry
+    | Done { exit; accesses; nops = _ } ->
+      List.iter
+        (fun (a : Exec.access) ->
+          if a.store then stats.stores <- stats.stores + 1
+          else stats.loads <- stats.loads + 1;
+          match t.access_hook with Some f -> f a | None -> ())
+        accesses;
+      t.spec_log <-
+        List.filter (fun (a : Exec.access) -> (not a.store) && a.passed_store)
+          accesses
+        @ t.spec_log;
+      (* note: a self-modifying store never reaches this point — the
+         alias/code-mod check rolls the VLIW back first, and the store
+         then happens inside the interpretation episode, where the
+         memory hook invalidates the page before re-entry *)
+      (match exit with
+        | T.Next id' -> exec_at page id'
+        | T.OnPage off -> (
+          stats.onpage_jumps <- stats.onpage_jumps + 1;
+          match Hashtbl.find_opt page.entries off with
+          | Some id' ->
+            t.spec_log <- [];
+            exec_at page id'
+          | None ->
+            (* invalid entry exception *)
+            goto_base (page.base + off))
+        | T.OffPage a ->
+          stats.cross_direct <- stats.cross_direct + 1;
+          goto_base a
+        | T.Indirect (loc, kind) ->
+          (match kind with
+          | `Lr -> stats.cross_lr <- stats.cross_lr + 1
+          | `Ctr -> stats.cross_ctr <- stats.cross_ctr + 1
+          | `Gpr -> stats.cross_gpr <- stats.cross_gpr + 1);
+          let v, tag = Vliw.Vstate.get t.st loc in
+          (match tag with
+          | Vliw.Vstate.Clean -> goto_base (v land lnot 1)
+          | _ ->
+            (* cannot branch on a tagged value: recover precisely *)
+            stats.rollbacks <- stats.rollbacks + 1;
+            recover_at vliw.precise_entry)
+        | T.Trap (Tsc next) ->
+          stats.syscalls <- stats.syscalls + 1;
+          Interp.interrupt t.st.m ~return_pc:next Interp.Vector.syscall;
+          goto_base t.st.m.pc
+        | T.Trap Trfi ->
+          let m = t.st.m in
+          m.msr <- m.srr1;
+          (* interpret briefly after rfi, as Section 3.4 prescribes *)
+          recover_at (m.srr0 land lnot 3)
+        | T.Trap (Tillegal a) ->
+          Interp.interrupt t.st.m ~return_pc:a Interp.Vector.program;
+          goto_base t.st.m.pc)
+  in
+  let rec drive addr =
+    match goto_base addr with
+    | () -> None  (* unreachable: the loop exits via exceptions *)
+    | exception Mem.Halted code -> Some code
+    | exception Out_of_fuel -> None
+    | exception Deliver vector -> drive vector
+  in
+  drive entry

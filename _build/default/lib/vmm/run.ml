@@ -1,0 +1,131 @@
+(* Measured workload runs: the harness behind every experiment.
+
+   A run executes a workload twice — once on the reference interpreter
+   (the golden model, which also provides the dynamic/static instruction
+   counts and reuse factors), once under DAISY with the cache hierarchy
+   attached — verifies that both executions agree exactly, and collects
+   the metrics the paper's tables and figures report. *)
+
+module Translate = Translator.Translate
+module Params = Translator.Params
+open Ppc
+
+type result = {
+  name : string;
+  exit_code : int option;
+  base_insns : int;        (** dynamic base instructions (reference run) *)
+  static_insns : int;      (** distinct static instructions executed *)
+  vliws : int;             (** tree VLIWs executed *)
+  interp_insns : int;      (** instructions run in VMM interpretation episodes *)
+  cycles_infinite : int;
+  cycles_finite : int;
+  stall_cycles : int;
+  ilp_inf : float;         (** pathlength reduction, infinite cache *)
+  ilp_fin : float;
+  loads : int;
+  stores : int;
+  load_misses : int;       (** first-level data misses on loads *)
+  store_misses : int;
+  imiss : int;             (** first-level instruction misses *)
+  miss_l0d : float;        (** miss rates (Figure 5.2) *)
+  miss_l0i : float;
+  miss_joint : float;
+  stats : Monitor.stats;
+  totals : Translate.totals;
+  code_bytes : int;        (** total translated code *)
+  pages_translated : int;
+  insns_translated : int;  (** translation work, incl. re-scheduling *)
+}
+
+(** Run the reference interpreter only. *)
+let reference (w : Workloads.Wl.t) =
+  let mem, entry = Workloads.Wl.instantiate w in
+  let st = Machine.create () in
+  st.pc <- entry;
+  let it = Interp.create st mem in
+  let code = Interp.run it ~fuel:w.fuel in
+  (code, st, mem, it)
+
+exception Mismatch of string
+
+(** [run ?params ?hierarchy w] executes [w] under DAISY and returns the
+    full set of measurements.  Raises {!Mismatch} if the translated
+    execution diverges from the reference interpreter in any observable
+    way. *)
+let run ?(params = Params.default) ?hierarchy (w : Workloads.Wl.t) =
+  let rcode, rst, rmem, it = reference w in
+  let mem, entry = Workloads.Wl.instantiate w in
+  let vmm = Monitor.create ~params mem in
+  let load_misses = ref 0 and store_misses = ref 0 and imiss = ref 0 in
+  let stall = ref 0 in
+  (match hierarchy with
+  | None -> ()
+  | Some h ->
+    vmm.fetch_hook <-
+      Some
+        (fun ~addr ~size ->
+          let cycles, l1_hit = Memsys.Hierarchy.access h I addr (max 4 size) in
+          if not l1_hit then incr imiss;
+          stall := !stall + cycles);
+    vmm.interp_fetch_hook <-
+      Some
+        (fun pc ->
+          let cycles, l1_hit = Memsys.Hierarchy.access h I pc 4 in
+          if not l1_hit then incr imiss;
+          stall := !stall + cycles);
+    vmm.access_hook <-
+      Some
+        (fun (a : Vliw.Exec.access) ->
+          if Mem.is_mmio a.addr then ()
+          else (
+            let cycles, l1_hit = Memsys.Hierarchy.access h D a.addr a.bytes in
+            if not l1_hit then
+              if a.store then incr store_misses else incr load_misses;
+            stall := !stall + cycles)));
+  let dcode = Monitor.run vmm ~entry ~fuel:(w.fuel * 2) in
+  if rcode <> dcode then
+    raise (Mismatch (Printf.sprintf "%s: exit %s vs %s" w.name
+                       (match rcode with Some c -> string_of_int c | None -> "fuel")
+                       (match dcode with Some c -> string_of_int c | None -> "fuel")));
+  if not (Machine.equal rst vmm.st.m) then
+    raise (Mismatch (w.name ^ ": architected state diverged"));
+  if not (Bytes.equal rmem.bytes mem.bytes) then
+    raise (Mismatch (w.name ^ ": memory diverged"));
+  let s = vmm.stats in
+  let cycles_inf = s.vliws + s.interp_insns in
+  let cycles_fin = cycles_inf + !stall in
+  let miss_rate (c : Memsys.Cache.t option) =
+    match c with Some c -> Memsys.Cache.miss_rate c | None -> 0.0
+  in
+  let h0i, h0d, hj =
+    match hierarchy with
+    | None -> (None, None, None)
+    | Some h ->
+      ( Some (Memsys.Hierarchy.l0i h),
+        Some (Memsys.Hierarchy.l0d h),
+        Some (Memsys.Hierarchy.joint h) )
+  in
+  { name = w.name;
+    exit_code = dcode;
+    base_insns = it.icount;
+    static_insns = Interp.static_touched it;
+    vliws = s.vliws;
+    interp_insns = s.interp_insns;
+    cycles_infinite = cycles_inf;
+    cycles_finite = cycles_fin;
+    stall_cycles = !stall;
+    ilp_inf = float_of_int it.icount /. float_of_int (max 1 cycles_inf);
+    ilp_fin = float_of_int it.icount /. float_of_int (max 1 cycles_fin);
+    loads = s.loads;
+    stores = s.stores;
+    load_misses = !load_misses;
+    store_misses = !store_misses;
+    imiss = !imiss;
+    miss_l0d = miss_rate h0d;
+    miss_l0i = miss_rate h0i;
+    miss_joint = miss_rate hj;
+    stats = s;
+    totals = vmm.tr.totals;
+    code_bytes = vmm.tr.totals.code_bytes;
+    pages_translated = vmm.tr.totals.pages;
+    insns_translated = vmm.tr.totals.insns }

@@ -1,0 +1,1 @@
+lib/workloads/cmp.ml: Asm Bytes Inputs Mem Ppc Wl

@@ -1,0 +1,1 @@
+lib/workloads/fgrep.ml: Asm Inputs Ppc Wl

@@ -1,0 +1,1 @@
+lib/workloads/gccsim.ml: Asm Hashtbl List Mem Ppc Printf Wl

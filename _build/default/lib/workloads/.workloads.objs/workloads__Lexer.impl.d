@@ -1,0 +1,1 @@
+lib/workloads/lexer.ml: Asm Bytes Char Inputs List Mem Ppc Wl

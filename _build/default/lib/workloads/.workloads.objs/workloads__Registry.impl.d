@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cmp Compress Fgrep Gccsim Lexer List Printf Sieve Sort String Wc Wl

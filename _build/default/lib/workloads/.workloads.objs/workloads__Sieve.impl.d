@@ -1,0 +1,1 @@
+lib/workloads/sieve.ml: Asm Ppc Wl

@@ -1,0 +1,1 @@
+lib/workloads/sort.ml: Asm Inputs Ppc Wl

@@ -1,0 +1,1 @@
+lib/workloads/wc.ml: Asm Inputs Ppc Wl

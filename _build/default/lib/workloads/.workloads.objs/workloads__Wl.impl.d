@@ -1,0 +1,1 @@
+lib/workloads/wl.ml: Array Asm Hashtbl Interp Mem Ppc String

@@ -1,0 +1,43 @@
+(* cmp: byte-compare two 16 KB buffers that differ near the end.
+   Exit code: index of the first difference. *)
+
+open Ppc
+
+let buf_len = 16 * 1024
+let diff_at = buf_len - 250
+
+let build a =
+  Asm.label a "main";
+  Asm.li32 a 14 Wl.data_base;
+  Asm.li32 a 15 Wl.data2_base;
+  Asm.li32 a 16 buf_len;
+  Asm.li a 17 0;                (* index *)
+  Asm.label a "loop";
+  Asm.cmpw a 17 16;
+  Asm.bc a Asm.Ge "equal";
+  Asm.lbzx a 4 14 17;
+  Asm.lbzx a 5 15 17;
+  Asm.cmpw a 4 5;
+  Asm.bc a Asm.Ne "diff";
+  Asm.addi a 17 17 1;
+  Asm.b a "loop";
+  Asm.label a "equal";
+  Asm.li a 3 (-1);
+  Wl.sys_exit a;
+  Asm.label a "diff";
+  Asm.mr a 3 17;
+  Wl.sys_exit a
+
+let workload : Wl.t =
+  { name = "cmp";
+    description = "byte compare of two 16K buffers";
+    build;
+    init =
+      (fun mem _ ->
+        let s = Inputs.text ~seed:31337 buf_len in
+        Mem.blit_string mem Wl.data_base s;
+        let b = Bytes.of_string s in
+        Bytes.set b diff_at 'Z';
+        Mem.blit_string mem Wl.data2_base (Bytes.to_string b));
+    mem_size = Wl.default_mem_size;
+    fuel = 10_000_000 }

@@ -1,0 +1,91 @@
+(* compress: LZW compression of ~16 KB of text, with the dictionary in
+   an open-addressed hash table — the same structure (hashing, probing,
+   code emission) as SPECint95 compress's inner loop.
+   Exit code: bytes of output + number of codes assigned. *)
+
+open Ppc
+
+let text_len = 16 * 1024
+let ht_slots = 8192  (* power of two; 8 bytes per slot: key, code *)
+
+let build a =
+  Asm.label a "main";
+  Asm.li32 a 14 Wl.data_base;
+  Asm.lwz a 15 14 0;              (* n *)
+  Asm.addi a 14 14 4;
+  Asm.li32 a 16 Wl.out_base;      (* out ptr *)
+  Asm.li32 a 17 Wl.scratch_base;  (* hash table *)
+  (* clear hash table *)
+  Asm.li32 a 4 (ht_slots * 2);
+  Asm.mtctr a 4;
+  Asm.li a 5 0;
+  Asm.mr a 6 17;
+  Asm.label a "clear";
+  Asm.stw a 5 6 0;
+  Asm.addi a 6 6 4;
+  Asm.bdnz a "clear";
+  Asm.li32 a 18 256;              (* next_code *)
+  Asm.lbz a 19 14 0;              (* prefix = first char *)
+  Asm.li a 20 1;                  (* i *)
+  Asm.label a "loop";
+  Asm.cmpw a 20 15;
+  Asm.bc a Asm.Ge "finish";
+  Asm.lbzx a 4 14 20;             (* c *)
+  (* key = (prefix << 8 | c) + 1 *)
+  Asm.slwi a 5 19 8;
+  Asm.or_ a 5 5 4;
+  Asm.addi a 5 5 1;
+  (* h = (key * 0x9E3779B1) >> 19 masked *)
+  Asm.li32 a 6 0x9E3779B1;
+  Asm.mullw a 7 5 6;
+  Asm.srwi a 7 7 19;
+  Asm.ins a (Rlwinm (7, 7, 0, 32 - 13, 31, false));  (* land (8192-1) *)
+  Asm.label a "probe";
+  Asm.slwi a 8 7 3;
+  Asm.add a 8 8 17;               (* slot addr *)
+  Asm.lwz a 9 8 0;                (* slot key *)
+  Asm.cmpwi a 9 0;
+  Asm.bc a Asm.Eq "miss";
+  Asm.cmpw a 9 5;
+  Asm.bc a Asm.Eq "hit";
+  Asm.addi a 7 7 1;
+  Asm.ins a (Rlwinm (7, 7, 0, 32 - 13, 31, false));
+  Asm.b a "probe";
+  Asm.label a "hit";
+  Asm.lwz a 19 8 4;               (* prefix = stored code *)
+  Asm.b a "next";
+  Asm.label a "miss";
+  (* emit prefix; insert key -> next_code; prefix = c *)
+  Asm.mr a 3 19;
+  Asm.bl a "putcode";
+  Asm.stw a 5 8 0;
+  Asm.stw a 18 8 4;
+  Asm.addi a 18 18 1;
+  Asm.mr a 19 4;
+  Asm.label a "next";
+  Asm.addi a 20 20 1;
+  Asm.b a "loop";
+  Asm.label a "finish";
+  Asm.mr a 3 19;
+  Asm.bl a "putcode";
+  (* result = output bytes + codes assigned *)
+  Asm.li32 a 4 Wl.out_base;
+  Asm.sub a 5 16 4;
+  Asm.add a 3 5 18;
+  Wl.sys_exit a;
+  (* the output routine, on its own page, like compress's output() *)
+  Asm.org a 0x2000;
+  Asm.label a "putcode";
+  Asm.sth a 3 16 0;
+  Asm.addi a 16 16 2;
+  Asm.blr a
+
+let workload : Wl.t =
+  { name = "compress";
+    description = "LZW compression with an open-addressed dictionary";
+    build;
+    init =
+      (fun mem _ ->
+        Wl.put_sized_string mem Wl.data_base (Inputs.text ~seed:95 text_len));
+    mem_size = Wl.default_mem_size;
+    fuel = 20_000_000 }

@@ -1,0 +1,60 @@
+(* fgrep: count occurrences of a fixed pattern in ~24 KB of text, with
+   a first-character filter like the real utility's fast path.
+   Exit code: number of matches. *)
+
+open Ppc
+
+let text_len = 24 * 1024
+let needle = "zyxq"
+let planted = 37
+
+let build a =
+  Asm.label a "main";
+  Asm.li32 a 14 Wl.data_base;
+  Asm.lwz a 15 14 0;             (* n *)
+  Asm.addi a 14 14 4;            (* text *)
+  Asm.li32 a 16 Wl.table_base;   (* pattern copied here by init *)
+  Asm.lwz a 17 16 0;             (* m *)
+  Asm.addi a 16 16 4;
+  Asm.lbz a 18 16 0;             (* first pattern byte *)
+  Asm.sub a 19 15 17;            (* last start = n - m *)
+  Asm.li a 20 0;                 (* i *)
+  Asm.li a 21 0;                 (* count *)
+  Asm.label a "outer";
+  Asm.cmpw a 20 19;
+  Asm.bc a Asm.Gt "done";
+  Asm.lbzx a 4 14 20;
+  Asm.cmpw a 4 18;
+  Asm.bc a Asm.Ne "next";
+  (* inner compare from offset 1 *)
+  Asm.li a 5 1;
+  Asm.label a "inner";
+  Asm.cmpw a 5 17;
+  Asm.bc a Asm.Ge "hit";
+  Asm.add a 6 20 5;
+  Asm.lbzx a 7 14 6;
+  Asm.lbzx a 8 16 5;
+  Asm.cmpw a 7 8;
+  Asm.bc a Asm.Ne "next";
+  Asm.addi a 5 5 1;
+  Asm.b a "inner";
+  Asm.label a "hit";
+  Asm.addi a 21 21 1;
+  Asm.label a "next";
+  Asm.addi a 20 20 1;
+  Asm.b a "outer";
+  Asm.label a "done";
+  Asm.mr a 3 21;
+  Wl.sys_exit a
+
+let workload : Wl.t =
+  { name = "fgrep";
+    description = "fixed-string search over generated text";
+    build;
+    init =
+      (fun mem _ ->
+        Wl.put_sized_string mem Wl.data_base
+          (Inputs.text_with_needles ~needle ~count:planted text_len);
+        Wl.put_sized_string mem Wl.table_base needle);
+    mem_size = Wl.default_mem_size;
+    fuel = 10_000_000 }

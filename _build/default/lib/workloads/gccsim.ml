@@ -1,0 +1,237 @@
+(* gcc stand-in: a compiler-like workload — a bytecode interpreter with
+   computed (jump-table) dispatch driving calls into dozens of small
+   functions deliberately spread across several code pages.
+
+   The paper's gcc measurements are dominated by a large instruction
+   working set, frequent indirect branches and cross-page control flow;
+   this workload reproduces exactly those properties on a synthetic
+   substrate (the repro_why substitution recorded in DESIGN.md).
+   Exit code: the VM accumulator after the program halts. *)
+
+open Ppc
+
+let n_funcs = 40
+let iterations = 80
+
+(* Bytecode: 8 bytes per instruction (opcode word, operand word). *)
+let op_halt = 0
+let op_push = 1
+let op_add = 2
+let op_sub = 3
+let op_mul = 4
+let op_dup = 5
+let op_load = 6
+let op_store = 7
+let op_jnz = 8
+let op_call = 9
+let op_xor = 10
+let n_ops = 11
+
+let jumptab_base = Wl.table_base + 0x400
+let funtab_base = Wl.table_base + 0x600
+let vars_base = Wl.scratch_base
+let vmstack_base = Wl.data2_base
+let bytecode_base = Wl.data_base
+
+let handler_name k = Printf.sprintf "h_%d" k
+let func_name k = Printf.sprintf "fn_%d" k
+
+(* One synthetic "compiler pass" function: r3 in, r3 out. *)
+let emit_func a k =
+  Asm.label a (func_name k);
+  (match k mod 4 with
+  | 0 ->
+    Asm.ins a (Mulli (3, 3, 3 + (k mod 7)));
+    Asm.ins a (Xori (3, 3, (k * 0x61) land 0xFFFF));
+    Asm.addi a 3 3 k;
+    Asm.blr a
+  | 1 ->
+    (* small reduction loop *)
+    Asm.li a 4 (3 + (k mod 3));
+    Asm.mtctr a 4;
+    Asm.label a (func_name k ^ "_l");
+    Asm.srwi a 5 3 3;
+    Asm.add a 3 3 5;
+    Asm.addi a 3 3 1;
+    Asm.bdnz a (func_name k ^ "_l");
+    Asm.blr a
+  | 2 ->
+    Asm.slwi a 4 3 (1 + (k mod 4));
+    Asm.sub a 3 4 3;
+    Asm.ins a (Ori (3, 3, k land 0xFFFF));
+    Asm.blr a
+  | _ ->
+    Asm.ins a (Andi (3, 4, 1));
+    Asm.cmpwi a 4 0;
+    Asm.bc a Asm.Eq (func_name k ^ "_e");
+    Asm.addi a 3 3 (100 + k);
+    Asm.blr a;
+    Asm.label a (func_name k ^ "_e");
+    Asm.srwi a 3 3 1;
+    Asm.addi a 3 3 (k + 1);
+    Asm.blr a)
+
+let build a =
+  Asm.label a "main";
+  Asm.li32 a 14 bytecode_base;
+  Asm.li a 15 0;                (* vm pc *)
+  Asm.li32 a 16 vmstack_base;   (* vm sp *)
+  Asm.li32 a 17 jumptab_base;
+  Asm.li32 a 18 funtab_base;
+  Asm.li32 a 22 vars_base;
+  Asm.label a "dispatch";
+  Asm.slwi a 4 15 3;
+  Asm.lwzx a 5 14 4;            (* opcode *)
+  Asm.addi a 6 4 4;
+  Asm.lwzx a 19 14 6;           (* operand *)
+  Asm.addi a 15 15 1;
+  Asm.slwi a 6 5 2;
+  Asm.lwzx a 7 17 6;
+  Asm.mtctr a 7;
+  Asm.bctr a;
+  (* handlers *)
+  Asm.label a (handler_name op_halt);
+  Asm.addi a 16 16 (-4);
+  Asm.lwz a 3 16 0;
+  Wl.sys_exit a;
+  Asm.label a (handler_name op_push);
+  Asm.stw a 19 16 0;
+  Asm.addi a 16 16 4;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_add);
+  Asm.addi a 16 16 (-8);
+  Asm.lwz a 4 16 0;
+  Asm.lwz a 5 16 4;
+  Asm.add a 4 4 5;
+  Asm.stw a 4 16 0;
+  Asm.addi a 16 16 4;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_sub);
+  Asm.addi a 16 16 (-8);
+  Asm.lwz a 4 16 0;
+  Asm.lwz a 5 16 4;
+  Asm.sub a 4 4 5;
+  Asm.stw a 4 16 0;
+  Asm.addi a 16 16 4;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_mul);
+  Asm.addi a 16 16 (-8);
+  Asm.lwz a 4 16 0;
+  Asm.lwz a 5 16 4;
+  Asm.mullw a 4 4 5;
+  Asm.stw a 4 16 0;
+  Asm.addi a 16 16 4;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_dup);
+  Asm.lwz a 4 16 (-4);
+  Asm.stw a 4 16 0;
+  Asm.addi a 16 16 4;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_load);
+  Asm.slwi a 4 19 2;
+  Asm.lwzx a 5 22 4;
+  Asm.stw a 5 16 0;
+  Asm.addi a 16 16 4;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_store);
+  Asm.addi a 16 16 (-4);
+  Asm.lwz a 5 16 0;
+  Asm.slwi a 4 19 2;
+  Asm.stwx a 5 22 4;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_jnz);
+  Asm.addi a 16 16 (-4);
+  Asm.lwz a 4 16 0;
+  Asm.cmpwi a 4 0;
+  Asm.bc a Asm.Eq "dispatch";
+  Asm.mr a 15 19;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_call);
+  Asm.slwi a 4 19 2;
+  Asm.lwzx a 5 18 4;
+  Asm.mtctr a 5;
+  Asm.addi a 16 16 (-4);
+  Asm.lwz a 3 16 0;
+  Asm.bctrl a;
+  Asm.stw a 3 16 0;
+  Asm.addi a 16 16 4;
+  Asm.b a "dispatch";
+  Asm.label a (handler_name op_xor);
+  Asm.addi a 16 16 (-8);
+  Asm.lwz a 4 16 0;
+  Asm.lwz a 5 16 4;
+  Asm.xor a 4 4 5;
+  Asm.stw a 4 16 0;
+  Asm.addi a 16 16 4;
+  Asm.b a "dispatch";
+  (* the function farm, spread across pages *)
+  for k = 0 to n_funcs - 1 do
+    Asm.org a (0x2000 + (k * 0x120));
+    emit_func a k
+  done
+
+(* The bytecode program, assembled host-side. *)
+let bytecode () =
+  let prog = ref [] and n = ref 0 in
+  let emit op operand =
+    prog := (op, operand) :: !prog;
+    incr n;
+    !n - 1
+  in
+  ignore (emit op_push iterations);
+  ignore (emit op_store 0);
+  let loop_start = !n in
+  (* body: feed constants through the function farm into vars 2..7 *)
+  for j = 0 to 9 do
+    ignore (emit op_push ((j * 13) + 1));
+    ignore (emit op_call ((j * 7) mod n_funcs));
+    ignore (emit op_store (2 + (j mod 6)))
+  done;
+  (* accumulate vars 2..7 into var 1 with add/xor/sub *)
+  for j = 0 to 5 do
+    ignore (emit op_load 1);
+    ignore (emit op_load (2 + j));
+    ignore (emit (match j mod 3 with 0 -> op_add | 1 -> op_xor | _ -> op_sub) 0)
+    ;
+    ignore (emit op_store 1)
+  done;
+  (* a little stack play *)
+  ignore (emit op_load 1);
+  ignore (emit op_dup 0);
+  ignore (emit op_mul 0);
+  ignore (emit op_store 8);
+  (* v0--; loop while non-zero *)
+  ignore (emit op_load 0);
+  ignore (emit op_push 1);
+  ignore (emit op_sub 0);
+  ignore (emit op_dup 0);
+  ignore (emit op_store 0);
+  ignore (emit op_jnz loop_start);
+  ignore (emit op_load 1);
+  ignore (emit op_halt 0);
+  List.rev !prog
+
+let init mem labels =
+  (* jump table *)
+  for k = 0 to n_ops - 1 do
+    Mem.store32 mem (jumptab_base + (4 * k))
+      (Hashtbl.find labels (handler_name k))
+  done;
+  for k = 0 to n_funcs - 1 do
+    Mem.store32 mem (funtab_base + (4 * k))
+      (Hashtbl.find labels (func_name k))
+  done;
+  List.iteri
+    (fun i (op, operand) ->
+      Mem.store32 mem (bytecode_base + (8 * i)) op;
+      Mem.store32 mem (bytecode_base + (8 * i) + 4) operand)
+    (bytecode ())
+
+let workload : Wl.t =
+  { name = "gcc";
+    description =
+      "compiler-like bytecode VM: jump-table dispatch + cross-page calls";
+    build;
+    init;
+    mem_size = Wl.default_mem_size;
+    fuel = 20_000_000 }

@@ -1,0 +1,61 @@
+(* Deterministic input generators for the benchmarks.
+
+   The paper runs AIX utilities on real files; we synthesise inputs with
+   a fixed-seed xorshift PRNG so every run (and the reference/DAISY
+   pair of runs in particular) sees identical data. *)
+
+type rng = { mutable s : int }
+
+let rng seed = { s = (if seed = 0 then 0x9E3779B9 else seed land 0xFFFF_FFFF) }
+
+let next r =
+  (* xorshift32 *)
+  let x = r.s in
+  let x = x lxor (x lsl 13) land 0xFFFF_FFFF in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0xFFFF_FFFF in
+  r.s <- x;
+  x
+
+let below r n = next r mod n
+
+let words =
+  [| "the"; "quick"; "brown"; "fox"; "jumps"; "over"; "lazy"; "dog";
+     "daisy"; "vliw"; "translation"; "page"; "entry"; "branch"; "cache";
+     "register"; "commit"; "precise"; "exception"; "oracle"; "parallel";
+     "if"; "while"; "return"; "int"; "char"; "for"; "else"; "struct" |]
+
+(** Pseudo-English text of roughly [len] bytes (words, digits,
+    punctuation, newlines). *)
+let text ?(seed = 12345) len =
+  let r = rng seed in
+  let b = Buffer.create len in
+  while Buffer.length b < len do
+    (match below r 10 with
+    | 0 -> Buffer.add_string b (string_of_int (below r 100000))
+    | 1 -> Buffer.add_string b "== !="
+    | 2 ->
+      Buffer.add_string b (words.(below r (Array.length words)));
+      Buffer.add_string b "(x)"
+    | _ -> Buffer.add_string b words.(below r (Array.length words)));
+    Buffer.add_char b (if below r 8 = 0 then '\n' else ' ')
+  done;
+  Buffer.sub b 0 len
+
+(** [len] pseudo-random 31-bit non-negative integers. *)
+let ints ?(seed = 999) len =
+  let r = rng seed in
+  Array.init len (fun _ -> next r land 0x7FFF_FFFF)
+
+(** Text with a known number of occurrences of [needle] sprinkled in. *)
+let text_with_needles ?(seed = 777) ~needle ~count len =
+  let base = text ~seed len in
+  let b = Bytes.of_string base in
+  let r = rng (seed + 1) in
+  let m = String.length needle in
+  let step = len / (count + 1) in
+  for i = 1 to count do
+    let pos = (i * step) + below r (step / 2) in
+    if pos + m < len then Bytes.blit_string needle 0 b pos m
+  done;
+  Bytes.to_string b

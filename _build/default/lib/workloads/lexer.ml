@@ -1,0 +1,135 @@
+(* lex: a table-driven DFA lexer over ~24 KB of text, mirroring the
+   inner loop of the classic lex(1)-generated scanners: per character,
+   a class lookup, a transition lookup, and token accounting on accept
+   states.  Exit code: weighted token counts. *)
+
+open Ppc
+
+let text_len = 24 * 1024
+
+(* Character classes. *)
+let cls_other = 0
+let cls_alpha = 1
+let cls_digit = 2
+let cls_space = 3
+let cls_punct = 4
+let n_cls = 5
+
+(* States.  Bit 3 of a transition target marks "token completed of kind
+   (target land 7)" before entering the low-3-bit state. *)
+let st_start = 0
+let st_ident = 1
+let st_num = 2
+let n_states = 3
+
+let tok_ident = 1
+let tok_num = 2
+let tok_punct = 3
+
+let class_table () =
+  let t = Bytes.make 256 (Char.chr cls_other) in
+  for c = Char.code 'a' to Char.code 'z' do
+    Bytes.set t c (Char.chr cls_alpha)
+  done;
+  for c = Char.code 'A' to Char.code 'Z' do
+    Bytes.set t c (Char.chr cls_alpha)
+  done;
+  for c = Char.code '0' to Char.code '9' do
+    Bytes.set t c (Char.chr cls_digit)
+  done;
+  List.iter
+    (fun c -> Bytes.set t (Char.code c) (Char.chr cls_space))
+    [ ' '; '\t'; '\n' ];
+  List.iter
+    (fun c -> Bytes.set t (Char.code c) (Char.chr cls_punct))
+    [ '('; ')'; '='; '!'; ';'; ','; '+'; '-' ];
+  Bytes.to_string t
+
+(* transition[state][class] = (emit lsl 3) lor next_state *)
+let transition_table () =
+  let t = Bytes.make (n_states * 8) '\000' in
+  let set st cl ?(emit = 0) next =
+    Bytes.set t ((st * 8) + cl) (Char.chr ((emit lsl 3) lor next))
+  in
+  (* start *)
+  set st_start cls_alpha st_ident;
+  set st_start cls_digit st_num;
+  set st_start cls_space st_start;
+  set st_start cls_punct ~emit:tok_punct st_start;
+  set st_start cls_other st_start;
+  (* ident *)
+  set st_ident cls_alpha st_ident;
+  set st_ident cls_digit st_ident;
+  set st_ident cls_space ~emit:tok_ident st_start;
+  set st_ident cls_punct ~emit:tok_ident st_start;
+  set st_ident cls_other ~emit:tok_ident st_start;
+  (* number *)
+  set st_num cls_digit st_num;
+  set st_num cls_alpha ~emit:tok_num st_ident;
+  set st_num cls_space ~emit:tok_num st_start;
+  set st_num cls_punct ~emit:tok_num st_start;
+  set st_num cls_other ~emit:tok_num st_start;
+  Bytes.to_string t
+
+let cls_base = Wl.table_base          (* 256 bytes *)
+let trans_base = Wl.table_base + 0x100
+let counts_base = Wl.table_base + 0x200  (* 8 words *)
+
+let build a =
+  Asm.label a "main";
+  Asm.li32 a 14 Wl.data_base;
+  Asm.lwz a 15 14 0;             (* n *)
+  Asm.addi a 14 14 4;
+  Asm.li32 a 16 cls_base;
+  Asm.li32 a 17 trans_base;
+  Asm.li32 a 18 counts_base;
+  Asm.li a 19 st_start;          (* state *)
+  Asm.li a 20 0;                 (* i *)
+  Asm.label a "loop";
+  Asm.cmpw a 20 15;
+  Asm.bc a Asm.Ge "done";
+  Asm.lbzx a 4 14 20;            (* c *)
+  Asm.lbzx a 5 16 4;             (* class *)
+  Asm.slwi a 6 19 3;
+  Asm.add a 6 6 5;
+  Asm.lbzx a 7 17 6;             (* transition *)
+  Asm.ins a (Rlwinm (19, 7, 0, 29, 31, false));  (* state = t land 7 *)
+  Asm.srwi a 8 7 3;              (* emit kind *)
+  Asm.cmpwi a 8 0;
+  Asm.bc a Asm.Eq "noemit";
+  Asm.mr a 3 8;
+  Asm.bl a "tally";              (* token accounting on its own page *)
+  Asm.label a "noemit";
+  Asm.addi a 20 20 1;
+  Asm.b a "loop";
+  Asm.label a "done";
+  (* result = idents + 1000*nums + 100000*puncts *)
+  Asm.lwz a 4 18 (4 * tok_ident);
+  Asm.lwz a 5 18 (4 * tok_num);
+  Asm.lwz a 6 18 (4 * tok_punct);
+  Asm.ins a (Mulli (5, 5, 1000));
+  Asm.li32 a 7 100000;
+  Asm.mullw a 6 6 7;
+  Asm.add a 3 4 5;
+  Asm.add a 3 3 6;
+  Wl.sys_exit a;
+  (* per-token bookkeeping, like the action bodies of a real scanner *)
+  Asm.org a 0x2000;
+  Asm.label a "tally";
+  Asm.slwi a 24 3 2;
+  Asm.lwzx a 25 18 24;
+  Asm.addi a 25 25 1;
+  Asm.stwx a 25 18 24;
+  Asm.blr a
+
+let workload : Wl.t =
+  { name = "lex";
+    description = "table-driven DFA lexer over generated text";
+    build;
+    init =
+      (fun mem _ ->
+        Wl.put_sized_string mem Wl.data_base (Inputs.text ~seed:90210 text_len);
+        Mem.blit_string mem cls_base (class_table ());
+        Mem.blit_string mem trans_base (transition_table ()));
+    mem_size = Wl.default_mem_size;
+    fuel = 10_000_000 }

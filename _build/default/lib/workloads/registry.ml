@@ -1,0 +1,19 @@
+(* The benchmark registry, in the paper's Table 5.1 order. *)
+
+let all : Wl.t list =
+  [ Compress.workload;
+    Lexer.workload;
+    Fgrep.workload;
+    Wc.workload;
+    Cmp.workload;
+    Sort.workload;
+    Sieve.workload;
+    Gccsim.workload ]
+
+let by_name name =
+  match List.find_opt (fun (w : Wl.t) -> w.name = name) all with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown workload %S (have: %s)" name
+         (String.concat ", " (List.map (fun (w : Wl.t) -> w.name) all)))

@@ -1,0 +1,59 @@
+(* c_sieve: the Stanford integer benchmark — Eratosthenes' sieve over
+   8191 flags, repeated 10 times.  Exit code: number of primes found
+   (1899). *)
+
+open Ppc
+
+let n = 8191
+let iterations = 10
+
+let build a =
+  Asm.label a "main";
+  Asm.li32 a 14 Wl.data_base;    (* flags *)
+  Asm.li a 15 iterations;
+  Asm.label a "outer";
+  (* memset flags = 1 *)
+  Asm.li32 a 4 n;
+  Asm.mtctr a 4;
+  Asm.li a 5 1;
+  Asm.li a 6 0;
+  Asm.label a "mset";
+  Asm.stbx a 5 14 6;
+  Asm.addi a 6 6 1;
+  Asm.bdnz a "mset";
+  Asm.li a 16 0;                 (* count *)
+  Asm.li a 7 0;                  (* i *)
+  Asm.label a "iloop";
+  Asm.lbzx a 8 14 7;
+  Asm.cmpwi a 8 0;
+  Asm.bc a Asm.Eq "skip";
+  (* prime = i + i + 3; k = i + prime *)
+  Asm.add a 9 7 7;
+  Asm.addi a 9 9 3;
+  Asm.add a 10 7 9;
+  Asm.label a "kloop";
+  Asm.cmpwi a 10 n;
+  Asm.bc a Asm.Ge "kdone";
+  Asm.li a 11 0;
+  Asm.stbx a 11 14 10;
+  Asm.add a 10 10 9;
+  Asm.b a "kloop";
+  Asm.label a "kdone";
+  Asm.addi a 16 16 1;
+  Asm.label a "skip";
+  Asm.addi a 7 7 1;
+  Asm.cmpwi a 7 n;
+  Asm.bc ~hint:true a Asm.Lt "iloop";
+  Asm.addi a 15 15 (-1);
+  Asm.cmpwi a 15 0;
+  Asm.bc a Asm.Ne "outer";
+  Asm.mr a 3 16;
+  Wl.sys_exit a
+
+let workload : Wl.t =
+  { name = "c_sieve";
+    description = "Eratosthenes' sieve, 8191 flags x 10 iterations";
+    build;
+    init = (fun _ _ -> ());
+    mem_size = Wl.default_mem_size;
+    fuel = 30_000_000 }

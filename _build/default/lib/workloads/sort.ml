@@ -1,0 +1,111 @@
+(* sort: recursive quicksort over 2048 random words, followed by a
+   sortedness check.  Like the real utility the paper measures, this is
+   call-heavy: the recursive routine lives on its own code page, saves
+   the link register in a stack frame, and returns through it — which is
+   what fills the via-Linkreg column of Table 5.6.
+   Exit code: a positional checksum of the sorted array, or 0xBAD. *)
+
+open Ppc
+
+let n = 2048
+let stack_top = 0x3F000
+
+(* register conventions: r14 = array base (global), r1 = stack pointer,
+   r3/r4 = lo/hi arguments, r29..r31 = callee-saved locals *)
+
+let build a =
+  Asm.label a "main";
+  Asm.li32 a 14 Wl.data_base;
+  Asm.li32 a 1 stack_top;
+  Asm.li a 3 0;
+  Asm.li32 a 4 (n - 1);
+  Asm.bl a "quicksort";
+  (* verify ascending and checksum *)
+  Asm.li a 21 0;                   (* checksum *)
+  Asm.li a 22 0;                   (* prev *)
+  Asm.li a 23 0;                   (* index *)
+  Asm.label a "vloop";
+  Asm.cmpwi a 23 n;
+  Asm.bc a Asm.Ge "vdone";
+  Asm.slwi a 7 23 2;
+  Asm.lwzx a 8 14 7;
+  Asm.cmplw a 8 22;
+  Asm.bc a Asm.Lt "bad";
+  Asm.xor a 21 21 8;
+  Asm.addi a 21 21 1;
+  Asm.mr a 22 8;
+  Asm.addi a 23 23 1;
+  Asm.b a "vloop";
+  Asm.label a "bad";
+  Asm.li32 a 3 0xBAD;
+  Wl.sys_exit a;
+  Asm.label a "vdone";
+  Asm.mr a 3 21;
+  Wl.sys_exit a;
+
+  (* the recursive routine, on its own page *)
+  Asm.org a 0x2000;
+  Asm.label a "quicksort";
+  Asm.cmpw a 3 4;
+  Asm.bc a Asm.Ge "qs_ret";
+  Asm.mflr a 0;
+  Asm.ins a (Stwu (1, 1, -16));
+  Asm.stw a 0 1 12;
+  Asm.stw a 29 1 8;
+  Asm.stw a 30 1 4;
+  Asm.stw a 31 1 0;
+  Asm.mr a 30 3;                   (* lo *)
+  Asm.mr a 31 4;                   (* hi *)
+  (* partition with pivot a[hi] *)
+  Asm.slwi a 8 31 2;
+  Asm.lwzx a 5 14 8;               (* pivot *)
+  Asm.addi a 6 30 (-1);            (* i *)
+  Asm.mr a 7 30;                   (* j *)
+  Asm.label a "qs_part";
+  Asm.cmpw a 7 31;
+  Asm.bc a Asm.Ge "qs_pdone";
+  Asm.slwi a 8 7 2;
+  Asm.lwzx a 9 14 8;
+  Asm.cmpw a 9 5;
+  Asm.bc a Asm.Gt "qs_pnext";
+  Asm.addi a 6 6 1;
+  Asm.slwi a 10 6 2;
+  Asm.lwzx a 11 14 10;
+  Asm.stwx a 9 14 10;
+  Asm.stwx a 11 14 8;
+  Asm.label a "qs_pnext";
+  Asm.addi a 7 7 1;
+  Asm.b a "qs_part";
+  Asm.label a "qs_pdone";
+  Asm.addi a 6 6 1;
+  Asm.slwi a 10 6 2;
+  Asm.lwzx a 11 14 10;
+  Asm.slwi a 8 31 2;
+  Asm.lwzx a 12 14 8;
+  Asm.stwx a 12 14 10;
+  Asm.stwx a 11 14 8;
+  Asm.mr a 29 6;                   (* pivot index *)
+  (* recurse on both halves *)
+  Asm.mr a 3 30;
+  Asm.addi a 4 29 (-1);
+  Asm.bl a "quicksort";
+  Asm.addi a 3 29 1;
+  Asm.mr a 4 31;
+  Asm.bl a "quicksort";
+  Asm.lwz a 0 1 12;
+  Asm.mtlr a 0;
+  Asm.lwz a 29 1 8;
+  Asm.lwz a 30 1 4;
+  Asm.lwz a 31 1 0;
+  Asm.addi a 1 1 16;
+  Asm.label a "qs_ret";
+  Asm.blr a
+
+let workload : Wl.t =
+  { name = "sort";
+    description = "recursive quicksort of 2048 random words + verify";
+    build;
+    init =
+      (fun mem _ -> Wl.put_int_array mem Wl.data_base (Inputs.ints ~seed:5150 n));
+    mem_size = Wl.default_mem_size;
+    fuel = 20_000_000 }

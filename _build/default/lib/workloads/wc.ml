@@ -1,0 +1,55 @@
+(* wc: line/word/character count over ~24 KB of generated text.
+   Exit code: words + lines. *)
+
+open Ppc
+
+let text_len = 24 * 1024
+
+let build a =
+  Asm.label a "main";
+  Asm.li32 a 14 Wl.data_base;
+  Asm.lwz a 15 14 0;        (* length *)
+  Asm.addi a 16 14 4;       (* ptr *)
+  Asm.li a 17 0;            (* lines *)
+  Asm.li a 18 0;            (* words *)
+  Asm.li a 19 0;            (* chars *)
+  Asm.li a 20 0;            (* in_word *)
+  Asm.label a "loop";
+  Asm.cmpwi a 15 0;
+  Asm.bc a Asm.Eq "done";
+  Asm.lbz a 4 16 0;
+  Asm.addi a 19 19 1;
+  Asm.cmpwi a 4 10;
+  Asm.bc a Asm.Ne "notnl";
+  Asm.addi a 17 17 1;
+  Asm.label a "notnl";
+  Asm.cmpwi a 4 32;
+  Asm.bc a Asm.Eq "space";
+  Asm.cmpwi a 4 10;
+  Asm.bc a Asm.Eq "space";
+  Asm.cmpwi a 4 9;
+  Asm.bc a Asm.Eq "space";
+  Asm.cmpwi a 20 0;
+  Asm.bc a Asm.Ne "cont";
+  Asm.addi a 18 18 1;
+  Asm.li a 20 1;
+  Asm.b a "cont";
+  Asm.label a "space";
+  Asm.li a 20 0;
+  Asm.label a "cont";
+  Asm.addi a 16 16 1;
+  Asm.addi a 15 15 (-1);
+  Asm.b a "loop";
+  Asm.label a "done";
+  Asm.add a 3 18 17;
+  Wl.sys_exit a
+
+let workload : Wl.t =
+  { name = "wc";
+    description = "line/word/char count over generated text";
+    build;
+    init =
+      (fun mem _ ->
+        Wl.put_sized_string mem Wl.data_base (Inputs.text ~seed:4242 text_len));
+    mem_size = Wl.default_mem_size;
+    fuel = 10_000_000 }

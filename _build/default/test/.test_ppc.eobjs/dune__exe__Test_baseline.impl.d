@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Asm Baseline Hashtbl Insn List Mem Memsys Ppc Printf Translator Vmm Workloads

@@ -1,0 +1,1 @@
+test/test_daisy.ml: Alcotest Array Asm Bytes Encode Hashtbl Insn Interp List Machine Mem Ppc Printf QCheck QCheck_alcotest Translator Vliw Vmm

@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Array Cache Hierarchy List Memsys QCheck QCheck_alcotest Tlb

@@ -1,0 +1,1 @@
+test/test_ppc.ml: Alcotest Array Asm Char Decode Encode Hashtbl Insn Interp List Machine Mem Ppc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_s390.ml: Alcotest Array Bytes List Ppc Printexc Printf QCheck QCheck_alcotest S390 Translator Vliw Vmm

@@ -1,0 +1,1 @@
+test/test_translator.ml: Alcotest Array Asm Hashtbl List Mem Ppc Printf Random Translator Vliw

@@ -1,0 +1,1 @@
+test/test_vliw.ml: Alcotest Array Config Exec Layout List Op Ppc QCheck QCheck_alcotest Tree Vliw Vstate

@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Array Asm Char Hashtbl List Mem Memsys Ppc String Translator Vliw Vmm Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Buffer Char Gccsim Hashtbl Inputs List Ppc Printf Registry String Vmm Wl Workloads

@@ -1,0 +1,144 @@
+(* Tests for the comparison models: profile collection, the oracle
+   scheduler and the in-order pipeline model. *)
+
+module Params = Translator.Params
+
+let test_profile_counts () =
+  let w = Workloads.Registry.by_name "cmp" in
+  let tbl = Baseline.Profile.collect w in
+  Alcotest.(check bool) "found branches" true (Hashtbl.length tbl > 0);
+  Hashtbl.iter
+    (fun pc (taken, total) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "branch 0x%x: taken <= total" pc)
+        true
+        (taken >= 0 && taken <= total))
+    tbl;
+  (* cmp's main loop branch is strongly biased *)
+  let max_total = Hashtbl.fold (fun _ (_, n) acc -> max acc n) tbl 0 in
+  Alcotest.(check bool) "hot loop profiled" true (max_total > 10_000)
+
+let test_oracle_bounds () =
+  List.iter
+    (fun (w : Workloads.Wl.t) ->
+      let o = Baseline.Oracle.run w in
+      let d = Vmm.Run.run w in
+      Alcotest.(check bool)
+        (w.name ^ ": oracle >= DAISY")
+        true (o.ilp >= d.ilp_inf -. 0.01);
+      Alcotest.(check int) (w.name ^ ": same trace length") d.base_insns o.insns;
+      Alcotest.(check bool) (w.name ^ ": oracle cycles positive") true (o.cycles > 0))
+    Workloads.Registry.all
+
+let test_oracle_serial_chain () =
+  (* a pure dependence chain has oracle ILP ~1 *)
+  let open Ppc in
+  let mem = Mem.create 0x40000 in
+  let a = Asm.create () in
+  Workloads.Wl.mini_os a;
+  Asm.org a 0x1000;
+  Asm.label a "main";
+  Asm.li a 1 1;
+  for _ = 1 to 200 do
+    Asm.add a 1 1 1
+  done;
+  Asm.mr a 3 1;
+  Asm.halt a ~scratch:31 3;
+  let labels = Asm.assemble a mem in
+  ignore labels;
+  (* wrap as a workload *)
+  let w : Workloads.Wl.t =
+    { name = "chain";
+      description = "serial chain";
+      build =
+        (fun a ->
+          Asm.label a "main";
+          Asm.li a 1 1;
+          for _ = 1 to 200 do
+            Asm.add a 1 1 1
+          done;
+          Asm.mr a 3 1;
+          Asm.halt a ~scratch:31 3);
+      init = (fun _ _ -> ());
+      mem_size = 0x40000;
+      fuel = 100_000 }
+  in
+  let o = Baseline.Oracle.run w in
+  Alcotest.(check bool) "serial chain near ILP 1" true (o.ilp < 1.3)
+
+let test_oracle_parallel () =
+  (* independent operations have high oracle ILP *)
+  let w : Workloads.Wl.t =
+    { name = "par";
+      description = "independent ops";
+      build =
+        (fun a ->
+          let open Ppc in
+          Asm.label a "main";
+          for r = 1 to 8 do
+            Asm.li a r r
+          done;
+          for _ = 1 to 40 do
+            for r = 1 to 8 do
+              Asm.ins a (Insn.Xo (Add, r, r, r, false))
+            done
+          done;
+          Asm.mr a 3 1;
+          Asm.halt a ~scratch:31 3);
+      init = (fun _ _ -> ());
+      mem_size = 0x40000;
+      fuel = 100_000 }
+  in
+  let o = Baseline.Oracle.run w in
+  Alcotest.(check bool) "independent chains parallel" true (o.ilp > 4.0)
+
+let test_inorder_bounds () =
+  List.iter
+    (fun (w : Workloads.Wl.t) ->
+      let r = Baseline.Inorder.run w in
+      Alcotest.(check bool) (w.name ^ ": ipc <= width") true (r.ipc <= 2.0);
+      Alcotest.(check bool) (w.name ^ ": ipc > 0.2") true (r.ipc > 0.2))
+    Workloads.Registry.all
+
+let test_inorder_below_daisy () =
+  let ipcs =
+    List.map (fun w -> (Baseline.Inorder.run w).Baseline.Inorder.ipc)
+      Workloads.Registry.all
+  in
+  let daisy =
+    List.map
+      (fun w ->
+        (Vmm.Run.run ~hierarchy:(Memsys.Hierarchy.paper_24issue ()) w).ilp_fin)
+      Workloads.Registry.all
+  in
+  let mean xs = List.fold_left ( +. ) 0. xs /. 8.0 in
+  Alcotest.(check bool) "DAISY mean well above the in-order base" true
+    (mean daisy > 1.5 *. mean ipcs)
+
+let test_trad_beats_daisy_on_average () =
+  let subset = [ "compress"; "lex"; "fgrep"; "sort"; "c_sieve" ] in
+  let pairs =
+    List.map
+      (fun n ->
+        let w = Workloads.Registry.by_name n in
+        let d = Vmm.Run.run w in
+        let t = Vmm.Run.run ~params:(Baseline.Tradcomp.params w) w in
+        (d.ilp_inf, t.ilp_inf))
+      subset
+  in
+  let mean f = List.fold_left (fun acc p -> acc +. f p) 0. pairs /. 5.0 in
+  Alcotest.(check bool) "traditional compiler ahead on average" true
+    (mean snd > mean fst)
+
+let () =
+  Alcotest.run "baseline"
+    [ ("profile", [ Alcotest.test_case "collection" `Quick test_profile_counts ]);
+      ( "oracle",
+        [ Alcotest.test_case "bounds vs DAISY" `Quick test_oracle_bounds;
+          Alcotest.test_case "serial chain" `Quick test_oracle_serial_chain;
+          Alcotest.test_case "parallel ops" `Quick test_oracle_parallel ] );
+      ( "inorder",
+        [ Alcotest.test_case "ipc bounds" `Quick test_inorder_bounds;
+          Alcotest.test_case "below DAISY" `Quick test_inorder_below_daisy ] );
+      ( "traditional",
+        [ Alcotest.test_case "ahead of DAISY" `Quick test_trad_beats_daisy_on_average ] ) ]

@@ -1,0 +1,168 @@
+(* Tests for the VMM: workload-level differential equivalence under
+   several parameter sets, external-interrupt transparency, adaptive
+   alias retranslation, the cast-out-free translation cache, and the
+   measured-run harness. *)
+
+module Params = Translator.Params
+module Run = Vmm.Run
+
+let golden =
+  [ ("compress", 11415); ("lex", 152801411); ("fgrep", 37); ("wc", 4691);
+    ("cmp", 16134); ("sort", 928213246); ("c_sieve", 1899);
+    ("gcc", 4294885376) ]
+
+let test_golden_exit_codes () =
+  List.iter
+    (fun (name, expect) ->
+      let w = Workloads.Registry.by_name name in
+      let r = Run.run w in
+      Alcotest.(check (option int)) name (Some expect) r.exit_code)
+    golden
+
+(* Run.run raises Mismatch on any divergence, so these are full
+   differential checks of every workload under each parameter set. *)
+let workload_differential params () =
+  List.iter
+    (fun w -> ignore (Run.run ~params w))
+    Workloads.Registry.all
+
+let test_finite_cache_run () =
+  let w = Workloads.Registry.by_name "compress" in
+  let r = Run.run ~hierarchy:(Memsys.Hierarchy.paper_24issue ()) w in
+  Alcotest.(check bool) "stalls accrued" true (r.stall_cycles > 0);
+  Alcotest.(check bool) "finite <= infinite ILP" true (r.ilp_fin <= r.ilp_inf);
+  Alcotest.(check bool) "misses counted" true (r.load_misses > 0 || r.imiss > 0)
+
+let test_timer_transparency () =
+  let w = Workloads.Registry.by_name "wc" in
+  let rcode, _, _, _ = Run.reference w in
+  let mem, entry = Workloads.Wl.instantiate w in
+  let vmm = Vmm.Monitor.create mem in
+  vmm.timer_interval <- Some 300;
+  let code = Vmm.Monitor.run vmm ~entry ~fuel:(w.fuel * 2) in
+  Alcotest.(check (option int)) "result undisturbed" rcode code;
+  Alcotest.(check bool) "interrupts fired" true (vmm.stats.external_interrupts > 10);
+  let counted = Ppc.Mem.load32 mem (Workloads.Wl.table_base + 0xF00) in
+  Alcotest.(check int) "handler saw them all" vmm.stats.external_interrupts counted
+
+let test_adaptive_alias () =
+  let w = Workloads.Registry.by_name "sort" in
+  let base = Run.run w in
+  let adaptive = Run.run ~params:{ Params.default with adaptive_alias = true } w in
+  Alcotest.(check (option int)) "same result" base.exit_code adaptive.exit_code;
+  Alcotest.(check bool) "retranslation triggered" true
+    (adaptive.stats.adaptive_retranslations > 0);
+  Alcotest.(check bool) "aliases reduced" true
+    (adaptive.stats.aliases < base.stats.aliases)
+
+let test_crosspage_stats () =
+  let w = Workloads.Registry.by_name "gcc" in
+  let r = Run.run w in
+  Alcotest.(check bool) "indirect calls via CTR" true (r.stats.cross_ctr > 1000);
+  Alcotest.(check bool) "returns via LR" true (r.stats.cross_lr > 100)
+
+let test_small_pages_crosspage () =
+  let w = Workloads.Registry.by_name "c_sieve" in
+  let small = Run.run ~params:{ Params.default with page_size = 256 } w in
+  let big = Run.run w in
+  Alcotest.(check bool) "smaller pages force more direct cross-page jumps" true
+    (small.stats.cross_direct >= big.stats.cross_direct)
+
+let test_reuse_factors () =
+  let w = Workloads.Registry.by_name "c_sieve" in
+  let r = Run.run w in
+  Alcotest.(check bool) "reuse far above break-even" true
+    (r.base_insns / max 1 r.static_insns > 2340)
+
+let test_translation_work_is_bounded () =
+  (* the join-limit guarantee: scheduled instructions stay within a
+     small multiple of the distinct static instructions *)
+  List.iter
+    (fun (w : Workloads.Wl.t) ->
+      let r = Run.run w in
+      let bound =
+        (Params.default.join_limit + 1) * 4 * (r.static_insns + 64)
+      in
+      Alcotest.(check bool)
+        (w.name ^ ": translation work bounded")
+        true (r.insns_translated < bound))
+    Workloads.Registry.all
+
+let test_castout_pool () =
+  (* a tiny translated-code budget forces cast-outs and retranslation,
+     but never changes results; the OS vector page is pinned *)
+  let w = Workloads.Registry.by_name "gcc" in
+  let rcode, _, _, _ = Run.reference w in
+  let mem, entry = Workloads.Wl.instantiate w in
+  let vmm = Vmm.Monitor.create mem in
+  vmm.code_budget <- Some 1500;
+  Hashtbl.replace vmm.pinned 0 ();
+  let code = Vmm.Monitor.run vmm ~entry ~fuel:(w.fuel * 2) in
+  Alcotest.(check (option int)) "result unchanged" rcode code;
+  Alcotest.(check bool) "cast-outs happened" true (vmm.castouts > 0);
+  Alcotest.(check bool) "itlb flushed on cast-out" true (vmm.itlb.misses > 0)
+
+let test_itlb_counts () =
+  let w = Workloads.Registry.by_name "gcc" in
+  let mem, entry = Workloads.Wl.instantiate w in
+  let vmm = Vmm.Monitor.create mem in
+  let _ = Vmm.Monitor.run vmm ~entry ~fuel:(w.fuel * 2) in
+  Alcotest.(check bool) "itlb accessed per cross-page branch" true
+    (vmm.itlb.accesses
+     >= vmm.stats.cross_direct + vmm.stats.cross_lr + vmm.stats.cross_ctr);
+  Alcotest.(check bool) "misses rare once warm" true
+    (vmm.itlb.misses * 10 < vmm.itlb.accesses)
+
+let test_console_via_syscall () =
+  (* a program printing through sc/putchar, run under DAISY *)
+  let open Ppc in
+  let mem = Mem.create 0x40000 in
+  let a = Asm.create () in
+  Workloads.Wl.mini_os a;
+  Asm.org a 0x1000;
+  Asm.label a "main";
+  String.iter
+    (fun c ->
+      Asm.li a 3 (Char.code c);
+      Workloads.Wl.sys_putchar a)
+    "daisy";
+  Asm.li a 3 0;
+  Workloads.Wl.sys_exit a;
+  let labels = Asm.assemble a mem in
+  let vmm = Vmm.Monitor.create mem in
+  let code = Vmm.Monitor.run vmm ~entry:(Hashtbl.find labels "main") ~fuel:100_000 in
+  Alcotest.(check (option int)) "exit" (Some 0) code;
+  Alcotest.(check string) "console" "daisy" (Mem.output mem);
+  (* some syscalls execute inside the post-rfi interpretation episodes,
+     so only the first is guaranteed to trap out of translated code *)
+  Alcotest.(check bool) "syscalls trapped from translated code" true
+    (vmm.stats.syscalls >= 1)
+
+let () =
+  Alcotest.run "vmm"
+    [ ( "workloads",
+        [ Alcotest.test_case "golden exit codes" `Quick test_golden_exit_codes;
+          Alcotest.test_case "differential: 8-issue" `Quick
+            (workload_differential
+               { Params.default with config = Vliw.Config.eight_issue });
+          Alcotest.test_case "differential: tiny machine" `Quick
+            (workload_differential
+               { Params.default with config = Vliw.Config.figure_5_1.(0) });
+          Alcotest.test_case "differential: 512-byte pages" `Quick
+            (workload_differential { Params.default with page_size = 512 });
+          Alcotest.test_case "differential: adaptive alias" `Quick
+            (workload_differential { Params.default with adaptive_alias = true });
+          Alcotest.test_case "differential: no rename" `Quick
+            (workload_differential { Params.default with rename = false }) ] );
+      ( "features",
+        [ Alcotest.test_case "finite-cache run" `Quick test_finite_cache_run;
+          Alcotest.test_case "timer transparency" `Quick test_timer_transparency;
+          Alcotest.test_case "adaptive alias" `Quick test_adaptive_alias;
+          Alcotest.test_case "cross-page stats" `Quick test_crosspage_stats;
+          Alcotest.test_case "small pages" `Quick test_small_pages_crosspage;
+          Alcotest.test_case "reuse factors" `Quick test_reuse_factors;
+          Alcotest.test_case "bounded translation work" `Quick
+            test_translation_work_is_bounded;
+          Alcotest.test_case "cast-out pool" `Quick test_castout_pool;
+          Alcotest.test_case "itlb" `Quick test_itlb_counts;
+          Alcotest.test_case "console via syscall" `Quick test_console_via_syscall ] ) ]

@@ -1,0 +1,202 @@
+(* Tests for the workload substrate: deterministic inputs, host-side
+   checks of the algorithms the assembly implements (golden values
+   computed in OCaml), and structural properties of the images. *)
+
+open Workloads
+
+let test_inputs_deterministic () =
+  Alcotest.(check string) "text" (Inputs.text ~seed:7 500) (Inputs.text ~seed:7 500);
+  Alcotest.(check bool) "seeds differ" true
+    (Inputs.text ~seed:7 500 <> Inputs.text ~seed:8 500);
+  Alcotest.(check bool) "ints" (true)
+    (Inputs.ints ~seed:3 100 = Inputs.ints ~seed:3 100)
+
+let test_needles_planted () =
+  let needle = "zyxq" in
+  let s = Inputs.text_with_needles ~needle ~count:10 4000 in
+  let count = ref 0 in
+  for i = 0 to String.length s - String.length needle do
+    if String.sub s i (String.length needle) = needle then incr count
+  done;
+  Alcotest.(check int) "all planted needles present" 10 !count
+
+(* host-side golden values for the workload exit codes *)
+
+let wc_expected () =
+  let s = Inputs.text ~seed:4242 (24 * 1024) in
+  let lines = ref 0 and words = ref 0 and in_word = ref false in
+  String.iter
+    (fun c ->
+      if c = '\n' then incr lines;
+      if c = ' ' || c = '\n' || c = '\t' then in_word := false
+      else if not !in_word then (
+        incr words;
+        in_word := true))
+    s;
+  !words + !lines
+
+let test_wc_golden () =
+  let w = Registry.by_name "wc" in
+  let code, _, _, _ = Vmm.Run.reference w in
+  Alcotest.(check (option int)) "wc result matches host computation"
+    (Some (wc_expected ())) code
+
+let test_cmp_golden () =
+  let w = Registry.by_name "cmp" in
+  let code, _, _, _ = Vmm.Run.reference w in
+  Alcotest.(check (option int)) "cmp finds the planted difference"
+    (Some ((16 * 1024) - 250)) code
+
+let test_fgrep_golden () =
+  let w = Registry.by_name "fgrep" in
+  let code, _, _, _ = Vmm.Run.reference w in
+  Alcotest.(check (option int)) "fgrep counts the planted needles" (Some 37) code
+
+let test_sieve_golden () =
+  (* primes of the classic benchmark form: count i in [0,8191) with
+     flags semantics of the Stanford sieve *)
+  let n = 8191 in
+  let flags = Array.make n true in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if flags.(i) then begin
+      let prime = i + i + 3 in
+      let k = ref (i + prime) in
+      while !k < n do
+        flags.(!k) <- false;
+        k := !k + prime
+      done;
+      incr count
+    end
+  done;
+  let w = Registry.by_name "c_sieve" in
+  let code, _, _, _ = Vmm.Run.reference w in
+  Alcotest.(check (option int)) "sieve counts primes" (Some !count) code
+
+let test_sort_sorts () =
+  (* after the run, the array in memory must be the host-sorted input *)
+  let w = Registry.by_name "sort" in
+  let code, _, mem, _ = Vmm.Run.reference w in
+  Alcotest.(check bool) "did not fail verify" true (code <> Some 0xBAD);
+  let expect = Inputs.ints ~seed:5150 2048 in
+  Array.sort compare expect;
+  let ok = ref true in
+  Array.iteri
+    (fun i v -> if Ppc.Mem.load32 mem (Wl.data_base + (4 * i)) <> v then ok := false)
+    expect;
+  Alcotest.(check bool) "memory holds the sorted array" true !ok
+
+let test_compress_roundtrippable () =
+  (* LZW invariant: every emitted code is < next_code at emission time;
+     verify the output decodes back to the input with a host decoder *)
+  let w = Registry.by_name "compress" in
+  let code, _, mem, _ = Vmm.Run.reference w in
+  Alcotest.(check bool) "ran" true (code <> None);
+  let input = Inputs.text ~seed:95 (16 * 1024) in
+  (* read emitted halfword codes until we reproduce the input length *)
+  let dict = Hashtbl.create 4096 in
+  let next_code = ref 256 in
+  let out = Buffer.create (String.length input) in
+  let str_of c = if c < 256 then String.make 1 (Char.chr c) else Hashtbl.find dict c in
+  let pos = ref Wl.out_base in
+  let read_code () =
+    let v = Ppc.Mem.load16 mem !pos in
+    pos := !pos + 2;
+    v
+  in
+  let prev = ref (read_code ()) in
+  Buffer.add_string out (str_of !prev);
+  (try
+     while Buffer.length out < String.length input do
+       let c = read_code () in
+       let s =
+         if c < !next_code then str_of c
+         else str_of !prev ^ String.make 1 (str_of !prev).[0]
+       in
+       Buffer.add_string out s;
+       Hashtbl.replace dict !next_code (str_of !prev ^ String.make 1 s.[0]);
+       incr next_code;
+       prev := c
+     done
+   with Not_found -> Alcotest.fail "decoder lost sync");
+  Alcotest.(check bool) "LZW output decodes to the input" true
+    (Buffer.contents out = input)
+
+let test_gcc_vm_host_model () =
+  (* replay the bytecode program on a host-side model of the VM *)
+  let w = Registry.by_name "gcc" in
+  let code, _, _, _ = Vmm.Run.reference w in
+  let funs k x =
+    let u32 v = v land 0xFFFF_FFFF in
+    match k mod 4 with
+    | 0 -> u32 ((u32 (x * (3 + (k mod 7))) lxor (k * 0x61 land 0xFFFF)) + k)
+    | 1 ->
+      let x = ref x in
+      for _ = 1 to 3 + (k mod 3) do
+        x := u32 (!x + (!x lsr 3) + 1)
+      done;
+      !x
+    | 2 -> u32 (u32 (x lsl (1 + (k mod 4))) - x) lor (k land 0xFFFF)
+    | _ -> if x land 1 <> 0 then u32 (x + 100 + k) else u32 ((x lsr 1) + k + 1)
+  in
+  let prog = Array.of_list (Gccsim.bytecode ()) in
+  let vars = Array.make 64 0 and stack = Array.make 1024 0 in
+  let sp = ref 0 and pc = ref 0 and result = ref None in
+  let u32 v = v land 0xFFFF_FFFF in
+  while !result = None do
+    let op, arg = prog.(!pc) in
+    incr pc;
+    if op = Gccsim.op_halt then (decr sp; result := Some stack.(!sp))
+    else if op = Gccsim.op_push then (stack.(!sp) <- arg; incr sp)
+    else if op = Gccsim.op_add then (sp := !sp - 2; stack.(!sp) <- u32 (stack.(!sp) + stack.(!sp + 1)); incr sp)
+    else if op = Gccsim.op_sub then (sp := !sp - 2; stack.(!sp) <- u32 (stack.(!sp) - stack.(!sp + 1)); incr sp)
+    else if op = Gccsim.op_mul then (sp := !sp - 2; stack.(!sp) <- u32 (stack.(!sp) * stack.(!sp + 1)); incr sp)
+    else if op = Gccsim.op_xor then (sp := !sp - 2; stack.(!sp) <- stack.(!sp) lxor stack.(!sp + 1); incr sp)
+    else if op = Gccsim.op_dup then (stack.(!sp) <- stack.(!sp - 1); incr sp)
+    else if op = Gccsim.op_load then (stack.(!sp) <- vars.(arg); incr sp)
+    else if op = Gccsim.op_store then (decr sp; vars.(arg) <- stack.(!sp))
+    else if op = Gccsim.op_jnz then (decr sp; if stack.(!sp) <> 0 then pc := arg)
+    else if op = Gccsim.op_call then stack.(!sp - 1) <- funs arg stack.(!sp - 1)
+    else failwith "bad opcode"
+  done;
+  Alcotest.(check (option int)) "assembly VM matches host model" !result code
+
+let test_mini_os_vectors () =
+  (* the OS image places handlers at the architected vectors *)
+  let w = Registry.by_name "wc" in
+  let mem, _ = Wl.instantiate w in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "vector 0x%x populated" v)
+        true
+        (Ppc.Decode.decode (Ppc.Mem.fetch mem v) <> None))
+    [ 0x300; 0x400; 0x500; 0x700; 0xC00 ]
+
+let test_all_halt_within_fuel () =
+  List.iter
+    (fun (w : Wl.t) ->
+      let code, _, _, it = Vmm.Run.reference w in
+      Alcotest.(check bool) (w.name ^ " halts") true (code <> None);
+      Alcotest.(check bool)
+        (w.name ^ " uses < 80% of fuel")
+        true
+        (it.icount * 5 < w.fuel * 4))
+    Registry.all
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "inputs",
+        [ Alcotest.test_case "deterministic" `Quick test_inputs_deterministic;
+          Alcotest.test_case "needles" `Quick test_needles_planted ] );
+      ( "golden",
+        [ Alcotest.test_case "wc" `Quick test_wc_golden;
+          Alcotest.test_case "cmp" `Quick test_cmp_golden;
+          Alcotest.test_case "fgrep" `Quick test_fgrep_golden;
+          Alcotest.test_case "sieve" `Quick test_sieve_golden;
+          Alcotest.test_case "sort" `Quick test_sort_sorts;
+          Alcotest.test_case "compress decodes" `Quick test_compress_roundtrippable;
+          Alcotest.test_case "gcc vm model" `Quick test_gcc_vm_host_model ] );
+      ( "images",
+        [ Alcotest.test_case "os vectors" `Quick test_mini_os_vectors;
+          Alcotest.test_case "fuel budgets" `Quick test_all_halt_within_fuel ] ) ]
