@@ -4,6 +4,7 @@
    Bechamel — the quantity behind the paper's "instructions needed to
    translate one instruction" overhead analysis (Section 5.1). *)
 
+(* Returns (base instructions in the probed page, [(name, ns/run)]). *)
 let translator_microbench () =
   print_newline ();
   print_endline "Translator micro-benchmarks (Bechamel)";
@@ -37,10 +38,12 @@ let translator_microbench () =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name v ->
       match Analyze.OLS.estimates v with
       | Some (est :: _) ->
+        estimates := (name, est) :: !estimates;
         Printf.printf "%-28s %12.0f ns/run" name est;
         if name = "daisy/translate-page" then
           Printf.printf "  (%d base ins scheduled -> %.0f ns per base ins)"
@@ -48,14 +51,82 @@ let translator_microbench () =
             (est /. float_of_int insns);
         print_newline ()
       | _ -> ())
-    results
+    results;
+  (insns, !estimates)
+
+(* Machine-readable results: every workload's headline series (infinite
+   and finite cache) plus the translator's raw speed, for trend tracking
+   across commits. *)
+let write_bench_json path micro =
+  let module J = Obs.Json in
+  let workload (w : Workloads.Wl.t) =
+    let i = Stats.Experiments.inf w in
+    let f = Stats.Experiments.fin w in
+    J.Obj
+      [ ("name", J.Str w.name);
+        ("base_insns", J.Int i.base_insns);
+        ("ilp_inf", J.Float i.ilp_inf);
+        ("ilp_fin", J.Float f.ilp_fin);
+        ("cycles_infinite", J.Int i.cycles_infinite);
+        ("cycles_finite", J.Int f.cycles_finite);
+        ("stall_cycles", J.Int f.stall_cycles);
+        ("miss_l0d", J.Float f.miss_l0d);
+        ("miss_l0i", J.Float f.miss_l0i);
+        ("miss_joint", J.Float f.miss_joint);
+        ("vliws", J.Int i.vliws);
+        ("interp_insns", J.Int i.interp_insns);
+        ("pages_translated", J.Int i.pages_translated);
+        ("code_bytes", J.Int i.code_bytes) ]
+  in
+  let ws = Workloads.Registry.all in
+  let mean_ilp =
+    List.fold_left
+      (fun acc w -> acc +. (Stats.Experiments.inf w).Vmm.Run.ilp_inf)
+      0.0 ws
+    /. float_of_int (max 1 (List.length ws))
+  in
+  let translator =
+    match micro with
+    | None -> J.Null
+    | Some (insns, ests) ->
+      let get name =
+        match List.assoc_opt name ests with
+        | Some ns -> J.Float ns
+        | None -> J.Null
+      in
+      let per_insn =
+        match List.assoc_opt "daisy/translate-page" ests with
+        | Some ns when insns > 0 -> J.Float (ns /. float_of_int insns)
+        | _ -> J.Null
+      in
+      J.Obj
+        [ ("translate_page_ns", get "daisy/translate-page");
+          ("ns_per_base_insn", per_insn);
+          ("interp_1k_insns_ns", get "daisy/interp-1k-insns") ]
+  in
+  let j =
+    J.Obj
+      [ ("schema", J.Str "daisy-bench-v1");
+        ("workloads", J.Arr (List.map workload ws));
+        ("mean_ilp_inf", J.Float mean_ilp);
+        ("translator", translator) ]
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> J.to_channel oc j);
+  Printf.printf "\nwrote %s\n" path
 
 let () =
   let t0 = Unix.gettimeofday () in
   print_endline "DAISY experiment suite: regenerating all tables and figures";
   Stats.Experiments.all ();
-  (try translator_microbench ()
+  let micro =
+    try Some (translator_microbench ())
+    with e ->
+      Printf.printf "translator micro-benchmark skipped: %s\n"
+        (Printexc.to_string e);
+      None
+  in
+  (try write_bench_json "BENCH_daisy.json" micro
    with e ->
-     Printf.printf "translator micro-benchmark skipped: %s\n"
-       (Printexc.to_string e));
+     Printf.printf "BENCH_daisy.json skipped: %s\n" (Printexc.to_string e));
   Printf.printf "\nTotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -2,6 +2,7 @@
 
      daisy list                      — available workloads
      daisy run <workload> [...]     — run under DAISY, print statistics
+     daisy profile <workload>       — per-page hotness profile
      daisy trees <workload>         — dump the entry page's tree VLIWs
      daisy experiments [ids]        — regenerate paper tables/figures
      daisy ladder <workload>        — the parallelism ladder (Ch. 6)    *)
@@ -70,6 +71,17 @@ let params_term =
   Term.(const make $ config $ page $ window $ join $ no_rename $ no_spec
         $ no_fwd $ single $ adaptive)
 
+let with_out path f =
+  match open_out path with
+  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  | exception Sys_error msg ->
+    Printf.eprintf "daisy: %s\n" msg;
+    exit 1
+
+let write_json path j = with_out path (fun oc -> Obs.Json.to_channel oc j)
+
+let trace_format_conv = Arg.enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]
+
 let list_cmd =
   let doc = "List the available workloads." in
   let run () =
@@ -85,10 +97,61 @@ let run_cmd =
     Arg.(value & flag
          & info [ "finite" ] ~doc:"Attach the paper's 24-issue cache hierarchy.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a VMM event trace to $(docv).")
+  in
+  let trace_format =
+    Arg.(value & opt trace_format_conv `Chrome
+         & info [ "trace-format" ] ~docv:"FMT"
+             ~doc:"Trace format: $(b,chrome) (Perfetto-loadable trace_event \
+                   JSON) or $(b,jsonl) (one event object per line).")
+  in
+  let trace_cap =
+    Arg.(value & opt int (1 lsl 20)
+         & info [ "trace-cap" ] ~docv:"N"
+             ~doc:"Ring-buffer capacity: keep the last $(docv) events.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the metrics registry (counters, gauges, histograms) \
+                   as JSON to $(docv).")
+  in
   let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
-  let run w params finite =
+  let run w params finite trace_out trace_format trace_cap metrics_out =
+    if trace_cap <= 0 then begin
+      Printf.eprintf "daisy: --trace-cap must be positive\n";
+      exit 2
+    end;
     let hierarchy = if finite then Some (Memsys.Hierarchy.paper_24issue ()) else None in
-    let r = Vmm.Run.run ~params ?hierarchy w in
+    let tracer =
+      Option.map (fun _ -> Obs.Trace.create ~capacity:trace_cap ()) trace_out
+    in
+    let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
+    let bridge =
+      match (tracer, metrics) with
+      | None, None -> None
+      | _ -> Some (Obs.Bridge.create ?tracer ?metrics ())
+    in
+    let instrument = Option.map (fun b vmm -> Obs.Bridge.attach b vmm) bridge in
+    let r = Vmm.Run.run ~params ?hierarchy ?instrument w in
+    (match (trace_out, tracer) with
+    | Some path, Some tr ->
+      (match trace_format with
+      | `Chrome -> write_json path (Obs.Trace.to_chrome tr)
+      | `Jsonl -> with_out path (fun oc -> Obs.Trace.to_jsonl tr oc));
+      if Obs.Trace.dropped tr > 0 then
+        Printf.eprintf
+          "warning: trace ring dropped %d early events (raise --trace-cap)\n"
+          (Obs.Trace.dropped tr)
+    | _ -> ());
+    (match (metrics_out, metrics) with
+    | Some path, Some m ->
+      Obs.Bridge.record_result m r;
+      write_json path (Obs.Metrics.to_json m)
+    | _ -> ());
     Printf.printf "workload:             %s\n" r.Vmm.Run.name;
     Printf.printf "exit code:            %s\n"
       (match r.exit_code with Some c -> string_of_int c | None -> "(fuel)");
@@ -107,7 +170,63 @@ let run_cmd =
       r.totals.pages r.totals.entry_points r.totals.insns r.totals.vliws_made
       r.code_bytes
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ w $ params_term $ finite)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ w $ params_term $ finite $ trace_out $ trace_format
+          $ trace_cap $ metrics_out)
+
+let profile_cmd =
+  let doc = "Profile a workload's per-page hotness under DAISY." in
+  let finite =
+    Arg.(value & flag
+         & info [ "finite" ] ~doc:"Attach the paper's 24-issue cache hierarchy.")
+  in
+  let top =
+    Arg.(value & opt int 20
+         & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) hottest pages.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the full profile as JSON to $(docv).")
+  in
+  let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
+  let run w params finite top json_out =
+    let hierarchy = if finite then Some (Memsys.Hierarchy.paper_24issue ()) else None in
+    let hotness = Obs.Hotness.create () in
+    let bridge = Obs.Bridge.create ~hotness () in
+    let r =
+      Vmm.Run.run ~params ?hierarchy
+        ~instrument:(fun vmm -> Obs.Bridge.attach bridge vmm) w
+    in
+    Obs.Hotness.flush hotness ~vliws_total:r.vliws;
+    (match json_out with
+    | Some path -> write_json path (Obs.Hotness.to_json hotness)
+    | None -> ());
+    Printf.printf "workload:            %s\n" r.Vmm.Run.name;
+    Printf.printf "tree VLIWs executed: %d (+%d interpreted instructions)\n"
+      r.vliws r.interp_insns;
+    Printf.printf "amortisation:        %.1f VLIWs executed per instruction translated\n"
+      (float_of_int r.vliws /. float_of_int (max 1 r.insns_translated));
+    let ranked = Obs.Hotness.ranked hotness in
+    let shown = List.filteri (fun i _ -> i < top) ranked in
+    Stats.Table.render
+      ~title:(Printf.sprintf "Hottest pages (%d of %d)"
+                (List.length shown) (List.length ranked))
+      ~header:[ "page"; "entries"; "vliws"; "xlates"; "insns"; "bytes";
+                "vliws/insn" ]
+      (List.map
+         (fun (p : Obs.Hotness.page) ->
+           [ Printf.sprintf "0x%08x" p.base;
+             Stats.Table.i p.entries;
+             Stats.Table.big p.vliws;
+             Stats.Table.i p.translations;
+             Stats.Table.i p.insns_scheduled;
+             Stats.Table.i p.code_bytes;
+             Stats.Table.f1 (Obs.Hotness.amortisation p) ])
+         shown)
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ w $ params_term $ finite $ top $ json_out)
 
 let trees_cmd =
   let doc = "Translate a workload's entry page and print its tree VLIWs." in
@@ -171,4 +290,6 @@ let () =
   let info = Cmd.info "daisy" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; trees_cmd; experiments_cmd; ladder_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; profile_cmd; trees_cmd; experiments_cmd;
+            ladder_cmd ]))

@@ -1,0 +1,155 @@
+(* The bridge between the VMM's instrumentation interface and the
+   observability sinks.  The VMM publishes {!Vmm.Monitor.event}s through
+   its [event_hook]; this module subscribes and fans each event out to
+   whichever sinks were requested — the trace ring, the metrics
+   histograms, the per-page hotness profile.  The dependency points
+   obs -> vmm only: the VMM never links against this library. *)
+
+module Monitor = Vmm.Monitor
+
+type t = {
+  tracer : Trace.t option;
+  metrics : Metrics.t option;
+  hotness : Hotness.t option;
+  h_episode : Metrics.Histogram.t option;
+      (** instructions per interpretation episode *)
+  h_tr_insns : Metrics.Histogram.t option;
+      (** base instructions per translation unit *)
+  h_tr_vliws : Metrics.Histogram.t option;
+      (** VLIWs created per translation unit *)
+}
+
+let create ?tracer ?metrics ?hotness () =
+  let h name buckets =
+    Option.map
+      (fun m -> Metrics.histogram m ~buckets name)
+      metrics
+  in
+  { tracer; metrics; hotness;
+    h_episode =
+      h "interp_episode_insns" [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. ];
+    h_tr_insns =
+      h "translate_unit_insns"
+        [ 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048.; 4096. ];
+    h_tr_vliws =
+      h "translate_unit_vliws"
+        [ 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. ] }
+
+let cross_kind_string : Monitor.cross_kind -> string = function
+  | Xdirect -> "direct"
+  | Xlr -> "lr"
+  | Xctr -> "ctr"
+  | Xgpr -> "gpr"
+  | Xinvalid_entry -> "invalid_entry"
+
+let rollback_kind_string : Monitor.rollback_kind -> string = function
+  | RbAlias -> "alias"
+  | RbSelfmod -> "selfmod"
+  | RbFault -> "fault"
+  | RbTag -> "tag"
+  | RbTagged_target -> "tagged_target"
+
+let trace b ~ts ~name ~ph args =
+  match b.tracer with Some t -> Trace.emit t ~ts ~name ~ph args | None -> ()
+
+let observe h v =
+  match h with Some h -> Metrics.Histogram.observe_int h v | None -> ()
+
+let on_event b (ev : Monitor.event) =
+  match ev with
+  | Translate_begin { cycle; page; entry } ->
+    trace b ~ts:cycle ~name:"translate" ~ph:Trace.B
+      [ ("page", Json.Int page); ("entry", Json.Int entry) ]
+  | Translate_end { cycle; page; entry; insns; vliws; bytes; groups } ->
+    observe b.h_tr_insns insns;
+    observe b.h_tr_vliws vliws;
+    (match b.hotness with
+    | Some h -> Hotness.translated h ~page ~insns ~bytes
+    | None -> ());
+    trace b ~ts:cycle ~name:"translate" ~ph:Trace.E
+      [ ("page", Json.Int page); ("entry", Json.Int entry);
+        ("insns", Json.Int insns); ("vliws", Json.Int vliws);
+        ("bytes", Json.Int bytes); ("groups", Json.Int groups) ]
+  | Interp_begin { cycle; pc } ->
+    trace b ~ts:cycle ~name:"interp" ~ph:Trace.B [ ("pc", Json.Int pc) ]
+  | Interp_end { cycle; pc; insns; next } ->
+    observe b.h_episode insns;
+    trace b ~ts:cycle ~name:"interp" ~ph:Trace.E
+      [ ("pc", Json.Int pc); ("insns", Json.Int insns);
+        ("next", Json.Int next) ]
+  | Rolled_back { cycle; pc; kind } ->
+    trace b ~ts:cycle ~name:"rollback" ~ph:Trace.I
+      [ ("pc", Json.Int pc);
+        ("kind", Json.Str (rollback_kind_string kind)) ]
+  | Cross_page { cycle; kind; target } ->
+    trace b ~ts:cycle ~name:"cross_page" ~ph:Trace.I
+      [ ("kind", Json.Str (cross_kind_string kind));
+        ("target", Json.Int target) ]
+  | Page_enter { cycle = _; page; vliws_so_far } ->
+    (* hotness only: page entries are far too frequent for the ring *)
+    (match b.hotness with
+    | Some h -> Hotness.enter h ~page ~vliws_so_far
+    | None -> ())
+  | Retranslate_adaptive { cycle; page } ->
+    trace b ~ts:cycle ~name:"adaptive_retranslation" ~ph:Trace.I
+      [ ("page", Json.Int page) ]
+  | Castout { cycle; page } ->
+    (match b.hotness with Some h -> Hotness.castout h ~page | None -> ());
+    trace b ~ts:cycle ~name:"castout" ~ph:Trace.I [ ("page", Json.Int page) ]
+  | Code_invalidated { cycle; page } ->
+    (match b.hotness with Some h -> Hotness.invalidated h ~page | None -> ());
+    trace b ~ts:cycle ~name:"code_invalidation" ~ph:Trace.I
+      [ ("page", Json.Int page) ]
+  | Syscall_trap { cycle; next } ->
+    trace b ~ts:cycle ~name:"syscall" ~ph:Trace.I [ ("next", Json.Int next) ]
+  | External_interrupt { cycle } ->
+    trace b ~ts:cycle ~name:"external_interrupt" ~ph:Trace.I []
+
+(** Subscribe this bridge to a VMM's event stream. *)
+let attach b (vmm : Monitor.t) = vmm.event_hook <- Some (on_event b)
+
+(** Copy a finished run's measurements into [m] as counters and gauges,
+    named after the {!Vmm.Run.result} / {!Vmm.Monitor.stats} fields so
+    exports agree exactly with the numbers the CLI prints. *)
+let record_result m (r : Vmm.Run.result) =
+  let c name v = Metrics.Counter.set (Metrics.counter m name) v in
+  let g name v = Metrics.Gauge.set (Metrics.gauge m name) v in
+  let s = r.stats in
+  c "base_insns" r.base_insns;
+  c "static_insns" r.static_insns;
+  c "vliws" s.vliws;
+  c "interp_insns" s.interp_insns;
+  c "interp_episodes" s.interp_episodes;
+  c "rollbacks" s.rollbacks;
+  c "aliases" s.aliases;
+  c "cross_direct" s.cross_direct;
+  c "cross_lr" s.cross_lr;
+  c "cross_ctr" s.cross_ctr;
+  c "cross_gpr" s.cross_gpr;
+  c "onpage_jumps" s.onpage_jumps;
+  c "loads" s.loads;
+  c "stores" s.stores;
+  c "syscalls" s.syscalls;
+  c "external_interrupts" s.external_interrupts;
+  c "adaptive_retranslations" s.adaptive_retranslations;
+  c "code_invalidations" s.code_invalidations;
+  c "stall_cycles" s.stall_cycles;
+  c "itlb_misses" s.itlb_misses;
+  c "vliws_with_load_miss" s.vliws_with_load_miss;
+  c "cycles_infinite" r.cycles_infinite;
+  c "cycles_finite" r.cycles_finite;
+  c "pages_translated" r.pages_translated;
+  c "insns_translated" r.insns_translated;
+  c "code_bytes" r.code_bytes;
+  c "entry_points" r.totals.entry_points;
+  c "vliws_made" r.totals.vliws_made;
+  c "translation_groups" r.totals.groups;
+  c "translation_invalidations" r.totals.invalidations;
+  c "load_misses" r.load_misses;
+  c "store_misses" r.store_misses;
+  c "imiss" r.imiss;
+  g "ilp_inf" r.ilp_inf;
+  g "ilp_fin" r.ilp_fin;
+  g "miss_l0d" r.miss_l0d;
+  g "miss_l0i" r.miss_l0i;
+  g "miss_joint" r.miss_joint

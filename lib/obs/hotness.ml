@@ -1,0 +1,99 @@
+(* Per-page hotness profile: for every translated page, how often it
+   was entered, how many VLIWs executed from it, and how much
+   translation work (units, instructions, bytes, invalidations) it
+   cost — the data behind Section 5.1's "is translation overhead
+   amortised?" question, answered per page instead of in aggregate.
+
+   VLIW attribution: the VMM reports the running VLIW count at every
+   page switch; the delta since the previous switch is credited to the
+   page that was executing.  Call [flush] with the final count when the
+   run ends so the tail is credited too. *)
+
+type page = {
+  base : int;
+  mutable entries : int;         (** times entered from the VMM dispatch loop *)
+  mutable vliws : int;           (** VLIWs executed while this page was current *)
+  mutable translations : int;    (** translation units built (>1 = re-translation) *)
+  mutable insns_scheduled : int; (** base instructions scheduled, incl. re-scheduling *)
+  mutable code_bytes : int;      (** translated code bytes produced *)
+  mutable invalidations : int;   (** self-modifying / adaptive invalidations *)
+  mutable castouts : int;        (** evictions by the code-cache budget *)
+}
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable current : int;         (* page being executed; -1 = none *)
+  mutable vliws_at_switch : int;
+}
+
+let create () = { pages = Hashtbl.create 64; current = -1; vliws_at_switch = 0 }
+
+let page t base =
+  match Hashtbl.find_opt t.pages base with
+  | Some p -> p
+  | None ->
+    let p =
+      { base; entries = 0; vliws = 0; translations = 0; insns_scheduled = 0;
+        code_bytes = 0; invalidations = 0; castouts = 0 }
+    in
+    Hashtbl.add t.pages base p;
+    p
+
+let credit t vliws_now =
+  if t.current >= 0 then (
+    let p = page t t.current in
+    p.vliws <- p.vliws + (vliws_now - t.vliws_at_switch))
+
+let enter t ~page:base ~vliws_so_far =
+  credit t vliws_so_far;
+  let p = page t base in
+  p.entries <- p.entries + 1;
+  t.current <- base;
+  t.vliws_at_switch <- vliws_so_far
+
+let translated t ~page:base ~insns ~bytes =
+  let p = page t base in
+  p.translations <- p.translations + 1;
+  p.insns_scheduled <- p.insns_scheduled + insns;
+  p.code_bytes <- p.code_bytes + bytes
+
+let invalidated t ~page:base =
+  let p = page t base in
+  p.invalidations <- p.invalidations + 1
+
+let castout t ~page:base =
+  let p = page t base in
+  p.castouts <- p.castouts + 1
+
+(** Credit the tail of the run to the last executing page; call once,
+    with the final VLIW count, when execution ends. *)
+let flush t ~vliws_total =
+  credit t vliws_total;
+  t.current <- -1;
+  t.vliws_at_switch <- vliws_total
+
+(** Pages by VLIWs executed, hottest first. *)
+let ranked t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.pages []
+  |> List.sort (fun a b -> compare (b.vliws, b.base) (a.vliws, a.base))
+
+(** VLIWs executed per base instruction scheduled — above 1.0 the
+    translation of this page has paid for itself many times over. *)
+let amortisation p =
+  float_of_int p.vliws /. float_of_int (max 1 p.insns_scheduled)
+
+let to_json t =
+  Json.Arr
+    (List.map
+       (fun p ->
+         Json.Obj
+           [ ("page", Json.Int p.base);
+             ("entries", Json.Int p.entries);
+             ("vliws", Json.Int p.vliws);
+             ("translations", Json.Int p.translations);
+             ("insns_scheduled", Json.Int p.insns_scheduled);
+             ("code_bytes", Json.Int p.code_bytes);
+             ("invalidations", Json.Int p.invalidations);
+             ("castouts", Json.Int p.castouts);
+             ("vliws_per_insn_scheduled", Json.Float (amortisation p)) ])
+       (ranked t))

@@ -1,0 +1,126 @@
+(* The metrics registry: named counters, gauges and fixed-bucket
+   histograms, exportable as JSON.
+
+   Overhead discipline: a counter increment is one mutable int store
+   and a histogram observation is one linear bucket scan — but more
+   importantly, nothing in the VMM or translator touches a registry
+   unless a sink is explicitly attached (see Bridge), so the disabled
+   cost is zero allocations and one [None] test per instrumented
+   site. *)
+
+module Counter = struct
+  type t = { name : string; help : string; mutable value : int }
+
+  let inc t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let set t v = t.value <- v
+  let value t = t.value
+end
+
+module Gauge = struct
+  type t = { name : string; help : string; mutable value : float }
+
+  let set t v = t.value <- v
+  let value t = t.value
+end
+
+module Histogram = struct
+  (* [bounds] are inclusive upper bucket bounds in ascending order;
+     [counts] carries one extra overflow bucket at the end. *)
+  type t = {
+    name : string;
+    help : string;
+    bounds : float array;
+    counts : int array;
+    mutable sum : float;
+    mutable count : int;
+  }
+
+  let observe t v =
+    let rec find i =
+      if i >= Array.length t.bounds then i
+      else if v <= t.bounds.(i) then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.sum <- t.sum +. v;
+    t.count <- t.count + 1
+
+  let observe_int t v = observe t (float_of_int v)
+end
+
+type t = {
+  (* reverse creation order; exports re-reverse *)
+  mutable counters : Counter.t list;
+  mutable gauges : Gauge.t list;
+  mutable histograms : Histogram.t list;
+  names : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  { counters = []; gauges = []; histograms = []; names = Hashtbl.create 16 }
+
+let register t name =
+  if Hashtbl.mem t.names name then
+    invalid_arg (Printf.sprintf "Metrics: duplicate metric %S" name);
+  Hashtbl.add t.names name ()
+
+let counter t ?(help = "") name =
+  register t name;
+  let c = { Counter.name; help; value = 0 } in
+  t.counters <- c :: t.counters;
+  c
+
+let gauge t ?(help = "") name =
+  register t name;
+  let g = { Gauge.name; help; value = 0.0 } in
+  t.gauges <- g :: t.gauges;
+  g
+
+let histogram t ?(help = "") ~buckets name =
+  register t name;
+  let bounds = Array.of_list buckets in
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly ascending")
+    bounds;
+  let h =
+    { Histogram.name; help; bounds;
+      counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; count = 0 }
+  in
+  t.histograms <- h :: t.histograms;
+  h
+
+let find_counter t name =
+  List.find_opt (fun (c : Counter.t) -> c.name = name) t.counters
+
+let find_gauge t name =
+  List.find_opt (fun (g : Gauge.t) -> g.name = name) t.gauges
+
+let to_json t =
+  let counters =
+    List.rev_map (fun (c : Counter.t) -> (c.name, Json.Int c.value)) t.counters
+  in
+  let gauges =
+    List.rev_map (fun (g : Gauge.t) -> (g.name, Json.Float g.value)) t.gauges
+  in
+  let hist (h : Histogram.t) =
+    let buckets =
+      List.init (Array.length h.counts) (fun i ->
+          let le =
+            if i < Array.length h.bounds then Json.Float h.bounds.(i)
+            else Json.Str "inf"
+          in
+          Json.Obj [ ("le", le); ("count", Json.Int h.counts.(i)) ])
+    in
+    ( h.name,
+      Json.Obj
+        [ ("buckets", Json.Arr buckets); ("sum", Json.Float h.sum);
+          ("count", Json.Int h.count) ] )
+  in
+  Json.Obj
+    [ ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj (List.rev_map hist t.histograms)) ]

@@ -1,0 +1,97 @@
+(* The structured event tracer: a bounded ring buffer of timestamped
+   events, exportable as JSONL (one object per line) and as Chrome
+   trace_event JSON, which Perfetto / chrome://tracing load directly.
+
+   Timestamps are VLIW cycles (the simulator's clock), not wall time.
+   When the buffer is full the oldest events are overwritten and
+   [dropped] counts what was lost — a run's tail is always retained. *)
+
+type phase = B  (** span begin *)
+           | E  (** span end *)
+           | I  (** instant *)
+           | C  (** counter sample *)
+
+type ev = {
+  ts : int;  (** VLIW-cycle timestamp *)
+  name : string;
+  ph : phase;
+  args : (string * Json.t) list;
+}
+
+type t = {
+  buf : ev array;
+  capacity : int;
+  mutable len : int;   (* filled slots, <= capacity *)
+  mutable head : int;  (* next write position *)
+  mutable total : int; (* events ever emitted *)
+}
+
+let dummy = { ts = 0; name = ""; ph = I; args = [] }
+
+let create ?(capacity = 1 lsl 20) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity dummy; capacity; len = 0; head = 0; total = 0 }
+
+let emit t ~ts ~name ~ph args =
+  t.buf.(t.head) <- { ts; name; ph; args };
+  t.head <- (t.head + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1;
+  t.total <- t.total + 1
+
+let length t = t.len
+let total t = t.total
+let dropped t = t.total - t.len
+
+(** Iterate the retained events, oldest first. *)
+let iter f t =
+  let start = (t.head - t.len + t.capacity) mod t.capacity in
+  for i = 0 to t.len - 1 do
+    f t.buf.((start + i) mod t.capacity)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun e -> acc := e :: !acc) t;
+  List.rev !acc
+
+let phase_string = function B -> "B" | E -> "E" | I -> "i" | C -> "C"
+
+(** Chrome trace_event JSON ("JSON object format"), loadable in
+    Perfetto.  All events share pid/tid 1; instants carry thread
+    scope. *)
+let to_chrome t =
+  let evs = ref [] in
+  iter
+    (fun e ->
+      let base =
+        [ ("name", Json.Str e.name); ("ph", Json.Str (phase_string e.ph));
+          ("ts", Json.Int e.ts); ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+      in
+      let scope = match e.ph with I -> [ ("s", Json.Str "t") ] | _ -> [] in
+      let args =
+        match e.args with [] -> [] | a -> [ ("args", Json.Obj a) ]
+      in
+      evs := Json.Obj (base @ scope @ args) :: !evs)
+    t;
+  Json.Obj
+    [ ("traceEvents", Json.Arr (List.rev !evs));
+      ("displayTimeUnit", Json.Str "ns");
+      ("otherData",
+       Json.Obj
+         [ ("clock", Json.Str "vliw-cycles");
+           ("dropped_events", Json.Int (dropped t)) ]) ]
+
+(** One JSON object per line: {"ts":..,"ph":..,"name":..,<args>}. *)
+let to_jsonl t oc =
+  iter
+    (fun e ->
+      let j =
+        Json.Obj
+          (("ts", Json.Int e.ts)
+          :: ("ph", Json.Str (phase_string e.ph))
+          :: ("name", Json.Str e.name)
+          :: e.args)
+      in
+      output_string oc (Json.to_string j);
+      output_char oc '\n')
+    t

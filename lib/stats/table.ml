@@ -1,13 +1,18 @@
 (* Plain-text table rendering for the experiment reports. *)
 
 (** [render ~title ~header rows] prints an aligned table: first column
-    left-aligned, the rest right-aligned, like the paper's tables. *)
+    left-aligned, the rest right-aligned, like the paper's tables.
+    Ragged rows are tolerated — missing cells render empty, extra cells
+    are dropped — so a partially-filled report never aborts a run. *)
 let render ?title ~header rows =
   let ncols = List.length header in
+  let cell row c =
+    match List.nth_opt row c with Some s -> s | None -> ""
+  in
   let width c =
     List.fold_left
-      (fun acc row -> max acc (String.length (List.nth row c)))
-      (String.length (List.nth header c))
+      (fun acc row -> max acc (String.length (cell row c)))
+      (String.length (cell header c))
       rows
   in
   let widths = List.init ncols width in
@@ -15,7 +20,9 @@ let render ?title ~header rows =
     let w = List.nth widths c in
     if c = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s
   in
-  let line row = String.concat "  " (List.mapi pad row) in
+  let line row =
+    String.concat "  " (List.init ncols (fun c -> pad c (cell row c)))
+  in
   (match title with
   | Some t ->
     print_newline ();

@@ -102,6 +102,13 @@ let invalidate t addr =
 
 let translated t addr = Hashtbl.mem t.pages (page_base t addr)
 
+(** Does [addr] already have a valid translated entry point?  (Unlike
+    {!entry} this never triggers translation work.) *)
+let has_entry t addr =
+  match Hashtbl.find_opt t.pages (page_base t addr) with
+  | Some p -> Hashtbl.mem p.entries (addr - p.base)
+  | None -> false
+
 (* ------------------------------------------------------------------ *)
 (* Paths                                                               *)
 

@@ -57,6 +57,50 @@ let fresh_stats () =
     syscalls = 0; external_interrupts = 0; adaptive_retranslations = 0;
     code_invalidations = 0; stall_cycles = 0; itlb_misses = 0 }
 
+(* --- Instrumentation interface -------------------------------------
+
+   The VMM reports its interesting moments through a single optional
+   [event_hook]; the observability layer (lib/obs) subscribes here
+   without the VMM depending on it.  Timestamps are VLIW cycles
+   ([vliws + interp_insns] so far).  With no hook attached the cost of
+   a site is one [None] test and no allocation. *)
+
+type cross_kind =
+  | Xdirect         (** direct cross-page branch *)
+  | Xlr             (** register-indirect via the link register *)
+  | Xctr            (** register-indirect via the count register *)
+  | Xgpr            (** register-indirect via a GPR (S/390-style) *)
+  | Xinvalid_entry  (** on-page jump to an offset with no valid entry *)
+
+type rollback_kind =
+  | RbAlias          (** speculative load bypassed a conflicting store *)
+  | RbSelfmod        (** VLIW stored into the page it executes from *)
+  | RbFault          (** non-speculative access fault *)
+  | RbTag            (** tagged (deferred-exception) register consumed *)
+  | RbTagged_target  (** indirect branch on a tagged value *)
+
+type event =
+  | Translate_begin of { cycle : int; page : int; entry : int }
+  | Translate_end of {
+      cycle : int;
+      page : int;
+      entry : int;
+      insns : int;   (** base instructions scheduled (incl. re-scheduling) *)
+      vliws : int;   (** tree VLIWs created *)
+      bytes : int;   (** translated code bytes laid out *)
+      groups : int;  (** VLIW groups built *)
+    }
+  | Interp_begin of { cycle : int; pc : int }
+  | Interp_end of { cycle : int; pc : int; insns : int; next : int }
+  | Rolled_back of { cycle : int; pc : int; kind : rollback_kind }
+  | Cross_page of { cycle : int; kind : cross_kind; target : int }
+  | Page_enter of { cycle : int; page : int; vliws_so_far : int }
+  | Retranslate_adaptive of { cycle : int; page : int }
+  | Castout of { cycle : int; page : int }
+  | Code_invalidated of { cycle : int; page : int }
+  | Syscall_trap of { cycle : int; next : int }
+  | External_interrupt of { cycle : int }
+
 type t = {
   tr : Translate.t;
   st : Vliw.Vstate.t;
@@ -94,7 +138,18 @@ type t = {
   mutable lru_tick : int;
   mutable castouts : int;
   max_episode : int;
+  mutable event_hook : (event -> unit) option;
+      (** instrumentation sink (lib/obs subscribes here) *)
+  mutable resume_pc : int;
+      (** precise base address to resume from after [run] returns [None]
+          on exhausted fuel — the debugger's single-stepping hook *)
 }
+
+(** The VMM's clock: VLIW cycles plus interpreted instructions. *)
+let now t = t.stats.vliws + t.stats.interp_insns
+
+(* [emit] takes a thunk so the disabled path allocates nothing. *)
+let emit t ev = match t.event_hook with Some h -> h (ev ()) | None -> ()
 
 let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc) mem =
   let m = Machine.create () in
@@ -109,7 +164,8 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc) mem 
       alias_tally = Hashtbl.create 8;
       itlb = Memsys.Tlb.create ~entries:64 ~assoc:4 (); itlb_miss_cost = 10;
       code_budget = None; pinned = Hashtbl.create 4; lru = Hashtbl.create 32;
-      lru_tick = 0; castouts = 0; max_episode = 64 }
+      lru_tick = 0; castouts = 0; max_episode = 64; event_hook = None;
+      resume_pc = -1 }
   in
   (* feed run-time register values to the translator's guarded inlining
      of indirect branches (Chapter 6) *)
@@ -127,6 +183,9 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc) mem 
           if Translate.translated tr addr then (
             Translate.invalidate tr addr;
             t.stats.code_invalidations <- t.stats.code_invalidations + 1;
+            emit t (fun () ->
+                Code_invalidated
+                  { cycle = now t; page = Translate.page_base tr addr });
             if Translate.page_base tr addr = t.current_page then
               t.invalidated <- true));
   t
@@ -173,6 +232,8 @@ let interpret_episode t start =
   Vliw.Vstate.clear_nonarch t.st;
   m.pc <- start;
   t.stats.interp_episodes <- t.stats.interp_episodes + 1;
+  emit t (fun () -> Interp_begin { cycle = now t; pc = start });
+  let insns0 = t.stats.interp_insns in
   let page_mask = lnot (t.tr.params.page_size - 1) in
   let rec go n =
     let pc = m.pc in
@@ -185,6 +246,10 @@ let interpret_episode t start =
     if n > 1 && not (stop_kind || crossed || backward) then go (n - 1)
   in
   go t.max_episode;
+  emit t (fun () ->
+      Interp_end
+        { cycle = now t; pc = start; insns = t.stats.interp_insns - insns0;
+          next = m.pc });
   m.pc
 
 exception Out_of_fuel
@@ -207,7 +272,24 @@ let run t ~entry ~fuel =
       stats.itlb_misses <- stats.itlb_misses + 1;
       stats.stall_cycles <- stats.stall_cycles + t.itlb_miss_cost
     end;
-    let page, id = Translate.entry t.tr addr in
+    let page, id =
+      match t.event_hook with
+      | Some h when not (Translate.has_entry t.tr addr) ->
+        (* fresh translation work: bracket it with begin/end events
+           carrying the translator-total deltas for this unit *)
+        let tot = t.tr.totals in
+        let base = Translate.page_base t.tr addr in
+        let i0 = tot.insns and v0 = tot.vliws_made in
+        let b0 = tot.code_bytes and g0 = tot.groups in
+        h (Translate_begin { cycle = now t; page = base; entry = addr });
+        let res = Translate.entry t.tr addr in
+        h (Translate_end
+             { cycle = now t; page = base; entry = addr;
+               insns = tot.insns - i0; vliws = tot.vliws_made - v0;
+               bytes = tot.code_bytes - b0; groups = tot.groups - g0 });
+        res
+      | _ -> Translate.entry t.tr addr
+    in
     t.lru_tick <- t.lru_tick + 1;
     Hashtbl.replace t.lru page.base t.lru_tick;
     (match t.code_budget with
@@ -215,6 +297,9 @@ let run t ~entry ~fuel =
     | None -> ());
     t.current_page <- page.base;
     t.invalidated <- false;
+    emit t (fun () ->
+        Page_enter
+          { cycle = now t; page = page.base; vliws_so_far = stats.vliws });
     exec_at page id
   and evict_to budget current =
     (* cast out least-recently-entered translations until within budget *)
@@ -240,6 +325,8 @@ let run t ~entry ~fuel =
         Translate.invalidate t.tr !victim;
         Memsys.Tlb.flush t.itlb;
         t.castouts <- t.castouts + 1;
+        let victim = !victim in
+        emit t (fun () -> Castout { cycle = now t; page = victim });
         continue_ := live () > budget
       end
     done
@@ -248,7 +335,10 @@ let run t ~entry ~fuel =
     goto_base next
   and exec_at (page : Translate.xpage) id =
     decr fuel_left;
-    if !fuel_left <= 0 then raise Out_of_fuel;
+    if !fuel_left <= 0 then begin
+      t.resume_pc <- (Vec.get page.vliws id).precise_entry;
+      raise Out_of_fuel
+    end;
     (match t.timer_interval with
     | Some n ->
       t.timer_count <- t.timer_count + 1;
@@ -256,6 +346,7 @@ let run t ~entry ~fuel =
         (* external interrupt: state at a VLIW boundary is precise *)
         t.timer_count <- 0;
         stats.external_interrupts <- stats.external_interrupts + 1;
+        emit t (fun () -> External_interrupt { cycle = now t });
         let vliw = Vec.get page.vliws id in
         Interp.interrupt t.st.m ~return_pc:vliw.precise_entry
           Interp.Vector.external_;
@@ -271,6 +362,14 @@ let run t ~entry ~fuel =
     match Exec.run t.st t.mem ~alias_check:(alias_check t) vliw with
     | Rollback reason ->
       stats.rollbacks <- stats.rollbacks + 1;
+      emit t (fun () ->
+          let kind =
+            match reason with
+            | Ralias -> if t.pending_selfmod then RbSelfmod else RbAlias
+            | Rfault _ -> RbFault
+            | Rtag _ -> RbTag
+          in
+          Rolled_back { cycle = now t; pc = vliw.precise_entry; kind });
       (match reason with
       | Ralias when t.pending_selfmod -> t.pending_selfmod <- false
       | Ralias ->
@@ -288,7 +387,9 @@ let run t ~entry ~fuel =
           if n = 32 then begin
             Translate.inhibit_load_spec t.tr t.current_page;
             Translate.invalidate t.tr t.current_page;
-            stats.adaptive_retranslations <- stats.adaptive_retranslations + 1
+            stats.adaptive_retranslations <- stats.adaptive_retranslations + 1;
+            emit t (fun () ->
+                Retranslate_adaptive { cycle = now t; page = t.current_page })
           end
         end
       | Rfault _ | Rtag _ -> ());
@@ -318,9 +419,15 @@ let run t ~entry ~fuel =
             exec_at page id'
           | None ->
             (* invalid entry exception *)
+            emit t (fun () ->
+                Cross_page
+                  { cycle = now t; kind = Xinvalid_entry;
+                    target = page.base + off });
             goto_base (page.base + off))
         | T.OffPage a ->
           stats.cross_direct <- stats.cross_direct + 1;
+          emit t (fun () ->
+              Cross_page { cycle = now t; kind = Xdirect; target = a });
           goto_base a
         | T.Indirect (loc, kind) ->
           (match kind with
@@ -329,13 +436,25 @@ let run t ~entry ~fuel =
           | `Gpr -> stats.cross_gpr <- stats.cross_gpr + 1);
           let v, tag = Vliw.Vstate.get t.st loc in
           (match tag with
-          | Vliw.Vstate.Clean -> goto_base (v land lnot 1)
+          | Vliw.Vstate.Clean ->
+            emit t (fun () ->
+                let xkind =
+                  match kind with `Lr -> Xlr | `Ctr -> Xctr | `Gpr -> Xgpr
+                in
+                Cross_page
+                  { cycle = now t; kind = xkind; target = v land lnot 1 });
+            goto_base (v land lnot 1)
           | _ ->
             (* cannot branch on a tagged value: recover precisely *)
             stats.rollbacks <- stats.rollbacks + 1;
+            emit t (fun () ->
+                Rolled_back
+                  { cycle = now t; pc = vliw.precise_entry;
+                    kind = RbTagged_target });
             recover_at vliw.precise_entry)
         | T.Trap (Tsc next) ->
           stats.syscalls <- stats.syscalls + 1;
+          emit t (fun () -> Syscall_trap { cycle = now t; next });
           Interp.interrupt t.st.m ~return_pc:next Interp.Vector.syscall;
           goto_base t.st.m.pc
         | T.Trap Trfi ->
@@ -354,4 +473,5 @@ let run t ~entry ~fuel =
     | exception Out_of_fuel -> None
     | exception Deliver vector -> drive vector
   in
+  t.resume_pc <- entry;
   drive entry

@@ -48,11 +48,13 @@ let reference (w : Workloads.Wl.t) =
 
 exception Mismatch of string
 
-(** [run ?params ?hierarchy w] executes [w] under DAISY and returns the
-    full set of measurements.  Raises {!Mismatch} if the translated
-    execution diverges from the reference interpreter in any observable
-    way. *)
-let run ?(params = Params.default) ?hierarchy (w : Workloads.Wl.t) =
+(** [run ?params ?hierarchy ?instrument w] executes [w] under DAISY and
+    returns the full set of measurements.  [instrument] is called with
+    the freshly-created VMM before execution starts, so observability
+    sinks can attach to {!Monitor.t.event_hook}.  Raises {!Mismatch} if
+    the translated execution diverges from the reference interpreter in
+    any observable way. *)
+let run ?(params = Params.default) ?hierarchy ?instrument (w : Workloads.Wl.t) =
   let rcode, rst, rmem, it = reference w in
   let mem, entry = Workloads.Wl.instantiate w in
   let vmm = Monitor.create ~params mem in
@@ -82,6 +84,7 @@ let run ?(params = Params.default) ?hierarchy (w : Workloads.Wl.t) =
             if not l1_hit then
               if a.store then incr store_misses else incr load_misses;
             stall := !stall + cycles)));
+  (match instrument with Some f -> f vmm | None -> ());
   let dcode = Monitor.run vmm ~entry ~fuel:(w.fuel * 2) in
   if rcode <> dcode then
     raise (Mismatch (Printf.sprintf "%s: exit %s vs %s" w.name
