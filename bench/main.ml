@@ -54,6 +54,51 @@ let translator_microbench () =
     results;
   (insns, !estimates)
 
+(* Cold-vs-warm persistent-translation-cache series: run every registry
+   workload twice against one fresh cache directory and record how much
+   translation work the warm start avoided (all of it, when the cache
+   behaves) and what each run cost in wall time. *)
+let tcache_series () =
+  print_newline ();
+  print_endline "Persistent translation cache: cold vs warm";
+  print_endline "------------------------------------------";
+  let module J = Obs.Json in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "daisy_bench_tcache.%d" (Unix.getpid ()))
+  in
+  let rows =
+    List.map
+      (fun (w : Workloads.Wl.t) ->
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let cold, cold_s = time (fun () -> Vmm.Run.run ~tcache_dir:dir w) in
+        let warm, warm_s = time (fun () -> Vmm.Run.run ~tcache_dir:dir w) in
+        Printf.printf
+          "%-10s pages %3d -> %d   insns %6d -> %d   hits %3d   %.3fs -> %.3fs\n"
+          w.name cold.pages_translated warm.pages_translated
+          cold.insns_translated warm.insns_translated warm.stats.tcache_hits
+          cold_s warm_s;
+        J.Obj
+          [ ("name", J.Str w.name);
+            ("cold_pages_translated", J.Int cold.pages_translated);
+            ("warm_pages_translated", J.Int warm.pages_translated);
+            ("cold_insns_translated", J.Int cold.insns_translated);
+            ("warm_insns_translated", J.Int warm.insns_translated);
+            ("warm_tcache_hits", J.Int warm.stats.tcache_hits);
+            ("cold_tcache_persists", J.Int cold.stats.tcache_persists);
+            ("cold_seconds", J.Float cold_s);
+            ("warm_seconds", J.Float warm_s) ])
+      Workloads.Registry.all
+  in
+  let removed = Tcache.Store.clear_dir dir in
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  Printf.printf "(cache entries written and cleaned up: %d)\n" removed;
+  J.Arr rows
+
 (* Machine-readable results: every workload's headline series (infinite
    and finite cache) plus the translator's raw speed, for trend tracking
    across commits. *)
@@ -104,12 +149,19 @@ let write_bench_json path micro =
           ("ns_per_base_insn", per_insn);
           ("interp_1k_insns_ns", get "daisy/interp-1k-insns") ]
   in
+  let tcache =
+    try tcache_series ()
+    with e ->
+      Printf.printf "tcache series skipped: %s\n" (Printexc.to_string e);
+      J.Null
+  in
   let j =
     J.Obj
-      [ ("schema", J.Str "daisy-bench-v1");
+      [ ("schema", J.Str "daisy-bench-v2");
         ("workloads", J.Arr (List.map workload ws));
         ("mean_ilp_inf", J.Float mean_ilp);
-        ("translator", translator) ]
+        ("translator", translator);
+        ("tcache", tcache) ]
   in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> J.to_channel oc j);

@@ -119,8 +119,17 @@ let run_cmd =
              ~doc:"Write the metrics registry (counters, gauges, histograms) \
                    as JSON to $(docv).")
   in
+  let tcache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "tcache" ] ~docv:"DIR"
+             ~doc:"Persist translations in the content-addressed cache at \
+                   $(docv); pages whose exact bytes were translated before \
+                   (under the same parameters) are installed from disk \
+                   instead of being retranslated.")
+  in
   let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
-  let run w params finite trace_out trace_format trace_cap metrics_out =
+  let run w params finite trace_out trace_format trace_cap metrics_out
+      tcache_dir =
     if trace_cap <= 0 then begin
       Printf.eprintf "daisy: --trace-cap must be positive\n";
       exit 2
@@ -136,7 +145,14 @@ let run_cmd =
       | _ -> Some (Obs.Bridge.create ?tracer ?metrics ())
     in
     let instrument = Option.map (fun b vmm -> Obs.Bridge.attach b vmm) bridge in
-    let r = Vmm.Run.run ~params ?hierarchy ?instrument w in
+    let r =
+      try Vmm.Run.run ~params ?hierarchy ?instrument ?tcache_dir w
+      with Vmm.Run.Mismatch msg ->
+        (* differential verification against the reference interpreter
+           failed: a correctness bug, never a measurement detail *)
+        Printf.eprintf "daisy: verification failed: %s\n" msg;
+        exit 3
+    in
     (match (trace_out, tracer) with
     | Some path, Some tr ->
       (match trace_format with
@@ -168,11 +184,20 @@ let run_cmd =
       r.stats.aliases r.stats.adaptive_retranslations;
     Printf.printf "translation:          %d pages, %d entries, %d ins scheduled, %d VLIWs, %d code bytes\n"
       r.totals.pages r.totals.entry_points r.totals.insns r.totals.vliws_made
-      r.code_bytes
+      r.code_bytes;
+    match tcache_dir with
+    | None -> ()
+    | Some _ ->
+      let s = r.stats in
+      Printf.printf
+        "tcache:               %d hits, %d misses, %d persists, %d evicts, \
+         %d corrupt\n"
+        s.tcache_hits s.tcache_misses s.tcache_persists s.tcache_evicts
+        s.tcache_corrupt
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ w $ params_term $ finite $ trace_out $ trace_format
-          $ trace_cap $ metrics_out)
+          $ trace_cap $ metrics_out $ tcache_dir)
 
 let profile_cmd =
   let doc = "Profile a workload's per-page hotness under DAISY." in
@@ -285,6 +310,72 @@ let ladder_cmd =
   in
   Cmd.v (Cmd.info "ladder" ~doc) Term.(const run $ w)
 
+let tcache_cmd =
+  let doc = "Inspect or clear a persistent translation cache directory." in
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let stats_cmd =
+    let doc = "Summarise the entries in a cache directory." in
+    let run dir =
+      let infos = Tcache.Store.list_dir dir in
+      let ok, bad =
+        List.partition
+          (fun (i : Tcache.Store.info) -> i.status = `Ok)
+          infos
+      in
+      let sum f = List.fold_left (fun acc i -> acc + f i) 0 ok in
+      let configs =
+        List.sort_uniq compare
+          (List.map
+             (fun (i : Tcache.Store.info) -> (i.frontend, i.fingerprint))
+             ok)
+      in
+      Printf.printf "entries:       %d (%d corrupt)\n" (List.length infos)
+        (List.length bad);
+      Printf.printf "file bytes:    %d\n"
+        (sum (fun (i : Tcache.Store.info) -> i.file_bytes));
+      Printf.printf "tree VLIWs:    %d\n"
+        (sum (fun (i : Tcache.Store.info) -> i.vliws));
+      Printf.printf "entry points:  %d\n"
+        (sum (fun (i : Tcache.Store.info) -> i.entries));
+      Printf.printf "configurations:%d\n" (List.length configs);
+      List.iter
+        (fun (fe, fp) -> Printf.printf "  %s  %s\n" fe fp)
+        configs;
+      List.iter
+        (fun (i : Tcache.Store.info) ->
+          match i.status with
+          | `Corrupt reason -> Printf.printf "corrupt: %s (%s)\n" i.key reason
+          | `Ok -> ())
+        bad
+    in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ dir)
+  in
+  let ls_cmd =
+    let doc = "List every cache entry with its decoded header." in
+    let run dir =
+      List.iter
+        (fun (i : Tcache.Store.info) ->
+          match i.status with
+          | `Ok ->
+            Printf.printf
+              "%s  %-4s base=0x%08x psize=%-7d vliws=%-5d entries=%-4d \
+               %7dB%s\n"
+              i.key i.frontend i.base i.psize i.vliws i.entries i.file_bytes
+              (if i.spec_inhibited then "  spec-off" else "")
+          | `Corrupt reason -> Printf.printf "%s  CORRUPT: %s\n" i.key reason)
+        (Tcache.Store.list_dir dir)
+    in
+    Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ dir)
+  in
+  let clear_cmd =
+    let doc = "Remove every cache entry (and stray temp file) in DIR." in
+    let run dir =
+      Printf.printf "removed %d files\n" (Tcache.Store.clear_dir dir)
+    in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ dir)
+  in
+  Cmd.group (Cmd.info "tcache" ~doc) [ stats_cmd; ls_cmd; clear_cmd ]
+
 let () =
   let doc = "DAISY: dynamic binary translation onto a tree-VLIW machine" in
   let info = Cmd.info "daisy" ~version:"1.0" ~doc in
@@ -292,4 +383,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; trees_cmd; experiments_cmd;
-            ladder_cmd ]))
+            ladder_cmd; tcache_cmd ]))

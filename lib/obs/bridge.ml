@@ -17,6 +17,8 @@ type t = {
       (** base instructions per translation unit *)
   h_tr_vliws : Metrics.Histogram.t option;
       (** VLIWs created per translation unit *)
+  h_tc_load : Metrics.Histogram.t option;
+      (** milliseconds to load + decode one persistent-cache entry *)
 }
 
 let create ?tracer ?metrics ?hotness () =
@@ -33,7 +35,9 @@ let create ?tracer ?metrics ?hotness () =
         [ 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048.; 4096. ];
     h_tr_vliws =
       h "translate_unit_vliws"
-        [ 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. ] }
+        [ 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. ];
+    h_tc_load =
+      h "tcache_load_ms" [ 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10. ] }
 
 let cross_kind_string : Monitor.cross_kind -> string = function
   | Xdirect -> "direct"
@@ -104,6 +108,26 @@ let on_event b (ev : Monitor.event) =
     trace b ~ts:cycle ~name:"syscall" ~ph:Trace.I [ ("next", Json.Int next) ]
   | External_interrupt { cycle } ->
     trace b ~ts:cycle ~name:"external_interrupt" ~ph:Trace.I []
+  | Tcache_hit { cycle; page; vliws; bytes; seconds } ->
+    (match b.h_tc_load with
+    | Some h -> Metrics.Histogram.observe h (seconds *. 1000.)
+    | None -> ());
+    trace b ~ts:cycle ~name:"tcache_hit" ~ph:Trace.I
+      [ ("page", Json.Int page); ("vliws", Json.Int vliws);
+        ("bytes", Json.Int bytes);
+        ("ms", Json.Float (seconds *. 1000.)) ]
+  | Tcache_miss { cycle; page } ->
+    trace b ~ts:cycle ~name:"tcache_miss" ~ph:Trace.I
+      [ ("page", Json.Int page) ]
+  | Tcache_corrupt { cycle; page; reason } ->
+    trace b ~ts:cycle ~name:"tcache_corrupt" ~ph:Trace.I
+      [ ("page", Json.Int page); ("reason", Json.Str reason) ]
+  | Tcache_persist { cycle; page; bytes } ->
+    trace b ~ts:cycle ~name:"tcache_persist" ~ph:Trace.I
+      [ ("page", Json.Int page); ("bytes", Json.Int bytes) ]
+  | Tcache_evict { cycle; page } ->
+    trace b ~ts:cycle ~name:"tcache_evict" ~ph:Trace.I
+      [ ("page", Json.Int page) ]
 
 (** Subscribe this bridge to a VMM's event stream. *)
 let attach b (vmm : Monitor.t) = vmm.event_hook <- Some (on_event b)
@@ -136,6 +160,11 @@ let record_result m (r : Vmm.Run.result) =
   c "stall_cycles" s.stall_cycles;
   c "itlb_misses" s.itlb_misses;
   c "vliws_with_load_miss" s.vliws_with_load_miss;
+  c "tcache_hits" s.tcache_hits;
+  c "tcache_misses" s.tcache_misses;
+  c "tcache_corrupt" s.tcache_corrupt;
+  c "tcache_persists" s.tcache_persists;
+  c "tcache_evicts" s.tcache_evicts;
   c "cycles_infinite" r.cycles_infinite;
   c "cycles_finite" r.cycles_finite;
   c "pages_translated" r.pages_translated;

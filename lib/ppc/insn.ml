@@ -195,6 +195,52 @@ let cr_op_name = function
 
 let width_letter = function Byte -> 'b' | Half -> 'h' | Word -> 'w'
 
+(* --- Stable small-integer codes ------------------------------------
+
+   Used by the persistent translation cache's binary codec
+   (lib/tcache).  These are an on-disk format: when a constructor is
+   added, append a fresh code — never renumber existing ones — and bump
+   the codec version.  The [*_of_code] direction returns [None] for
+   unknown codes so the codec can degrade gracefully on corrupt or
+   newer-version entries. *)
+
+let xo_code = function
+  | Add -> 0 | Addc -> 1 | Adde -> 2 | Subf -> 3 | Subfc -> 4 | Mullw -> 5
+  | Mulhw -> 6 | Mulhwu -> 7 | Divw -> 8 | Divwu -> 9 | Neg -> 10
+
+let xo_of_code = function
+  | 0 -> Some Add | 1 -> Some Addc | 2 -> Some Adde | 3 -> Some Subf
+  | 4 -> Some Subfc | 5 -> Some Mullw | 6 -> Some Mulhw | 7 -> Some Mulhwu
+  | 8 -> Some Divw | 9 -> Some Divwu | 10 -> Some Neg | _ -> None
+
+let x_code = function
+  | And_ -> 0 | Or_ -> 1 | Xor_ -> 2 | Nand -> 3 | Nor -> 4 | Andc -> 5
+  | Eqv -> 6 | Slw -> 7 | Srw -> 8 | Sraw -> 9
+
+let x_of_code = function
+  | 0 -> Some And_ | 1 -> Some Or_ | 2 -> Some Xor_ | 3 -> Some Nand
+  | 4 -> Some Nor | 5 -> Some Andc | 6 -> Some Eqv | 7 -> Some Slw
+  | 8 -> Some Srw | 9 -> Some Sraw | _ -> None
+
+let x1_code = function Cntlzw -> 0 | Extsb -> 1 | Extsh -> 2
+
+let x1_of_code = function
+  | 0 -> Some Cntlzw | 1 -> Some Extsb | 2 -> Some Extsh | _ -> None
+
+let width_code = function Byte -> 0 | Half -> 1 | Word -> 2
+
+let width_of_code = function
+  | 0 -> Some Byte | 1 -> Some Half | 2 -> Some Word | _ -> None
+
+let cr_op_code = function
+  | Crand -> 0 | Cror -> 1 | Crxor -> 2 | Crnand -> 3 | Crnor -> 4
+  | Crandc -> 5 | Creqv -> 6 | Crorc -> 7
+
+let cr_op_of_code = function
+  | 0 -> Some Crand | 1 -> Some Cror | 2 -> Some Crxor | 3 -> Some Crnand
+  | 4 -> Some Crnor | 5 -> Some Crandc | 6 -> Some Creqv | 7 -> Some Crorc
+  | _ -> None
+
 let rc_dot rc = if rc then "." else ""
 
 (** [pp ppf insn] prints [insn] in a conventional assembly syntax. *)

@@ -1,0 +1,387 @@
+(* The versioned binary codec for translated pages.
+
+   Hand-rolled, like lib/obs's JSON: the toolchain carries no
+   serialization library and the cache must not pull new dependencies.
+   The encoding is a tagged, byte-oriented format — one tag byte per
+   variant constructor, zigzag varints for every integer — chosen so an
+   entry is compact (a translated page is typically a few KB) and so
+   decoding is a single linear scan with no lookahead.
+
+   Robustness contract: [decode_xpage] either returns a structurally
+   valid page or raises {!Corrupt}; it never crashes on truncated or
+   bit-flipped input and never fabricates an op from an unknown tag.
+   The store wraps every entry in a whole-payload checksum as well, so
+   decode failures here are the second line of defense.
+
+   Versioning: [version] names the shape of everything below.  Any
+   change to the tags, the field order, or the enum codes in
+   {!Ppc.Insn} / {!Vliw.Op} must bump it; the store treats a version
+   mismatch as a miss, so stale caches degrade to a normal translate. *)
+
+module T = Vliw.Tree
+module Op = Vliw.Op
+module Translate = Translator.Translate
+module Vec = Translator.Vec
+
+let version = 1
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers / readers                                         *)
+
+let put_u8 b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+(* Zigzag varint: works for any OCaml int, negative included. *)
+let put_vint b n =
+  let rec go u =
+    if u land lnot 0x7F <> 0 then begin
+      Buffer.add_char b (Char.chr (0x80 lor (u land 0x7F)));
+      go (u lsr 7)
+    end
+    else Buffer.add_char b (Char.chr u)
+  in
+  go ((n lsl 1) lxor (n asr 62))
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+type reader = { s : string; mutable pos : int }
+
+let reader s = { s; pos = 0 }
+
+let get_u8 r =
+  if r.pos >= String.length r.s then corrupt "truncated at byte %d" r.pos;
+  let c = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_vint r =
+  let rec go shift acc =
+    if shift > 63 then corrupt "varint too long at byte %d" r.pos;
+    let c = get_u8 r in
+    let acc = acc lor ((c land 0x7F) lsl shift) in
+    if c land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  let u = go 0 0 in
+  (u lsr 1) lxor (-(u land 1))
+
+let get_bool r =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> corrupt "bad bool %d at byte %d" n r.pos
+
+(* Bounded counts: no valid page holds anywhere near a million of
+   anything, so a huge count is corruption, not data — reject it before
+   allocating. *)
+let get_count r what =
+  let n = get_vint r in
+  if n < 0 || n > 1 lsl 20 then corrupt "implausible %s count %d" what n;
+  n
+
+let need what = function Some v -> v | None -> corrupt "bad %s code" what
+
+let put_str b s =
+  put_vint b (String.length s);
+  Buffer.add_string b s
+
+let get_str r =
+  let n = get_count r "string" in
+  if r.pos + n > String.length r.s then corrupt "truncated string";
+  let s = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Ops                                                                 *)
+
+let put_off b = function
+  | Op.OImm i ->
+    put_u8 b 0;
+    put_vint b i
+  | Op.OReg l ->
+    put_u8 b 1;
+    put_vint b l
+
+let get_off r : Op.off =
+  match get_u8 r with
+  | 0 -> OImm (get_vint r)
+  | 1 -> OReg (get_vint r)
+  | n -> corrupt "bad offset tag %d" n
+
+let put_op b (op : Op.t) =
+  let tag n = put_u8 b n in
+  let v n = put_vint b n in
+  match op with
+  | Bin { op; rt; ra; rb; ca; spec } ->
+    tag 0; v (Ppc.Insn.xo_code op); v rt; v ra; v rb; v ca; put_bool b spec
+  | BinI { op; rt; ra; imm; spec } ->
+    tag 1; v (Op.ibin_code op); v rt; v ra; v imm; put_bool b spec
+  | Logic { op; rt; ra; rb; spec } ->
+    tag 2; v (Ppc.Insn.x_code op); v rt; v ra; v rb; put_bool b spec
+  | Un { op; rt; ra; spec } ->
+    tag 3; v (Ppc.Insn.x1_code op); v rt; v ra; put_bool b spec
+  | SrawiOp { rt; ra; sh; spec } -> tag 4; v rt; v ra; v sh; put_bool b spec
+  | RlwinmOp { rt; ra; sh; mb; me; spec } ->
+    tag 5; v rt; v ra; v sh; v mb; v me; put_bool b spec
+  | CmpOp { signed; crt; ra; rb; spec } ->
+    tag 6; put_bool b signed; v crt; v ra; v rb; put_bool b spec
+  | CmpIOp { signed; crt; ra; imm; spec } ->
+    tag 7; put_bool b signed; v crt; v ra; v imm; put_bool b spec
+  | LoadOp { w; alg; rt; base; off; spec; passed } ->
+    tag 8; v (Ppc.Insn.width_code w); put_bool b alg; v rt; v base;
+    put_off b off; put_bool b spec; put_bool b passed
+  | StoreOp { w; rs; base; off } ->
+    tag 9; v (Ppc.Insn.width_code w); v rs; v base; put_off b off
+  | CropOp { op; bt; ba; bb; old; spec } ->
+    tag 10; v (Ppc.Insn.cr_op_code op); v bt; v ba; v bb; v old;
+    put_bool b spec
+  | McrfOp { dst; src; spec } -> tag 11; v dst; v src; put_bool b spec
+  | MfcrOp { rt; srcs } ->
+    tag 12; v rt; v (Array.length srcs); Array.iter (fun l -> v l) srcs
+  | CrSetOp { crt; rs; pos } -> tag 13; v crt; v rs; v pos
+  | GetXer { rt } -> tag 14; v rt
+  | SetXer { rs } -> tag 15; v rs
+  | GetSpr { rt; spr } -> tag 16; v rt; v (Op.spr_code spr)
+  | SetSpr { spr; rs } -> tag 17; v (Op.spr_code spr); v rs
+  | GetMsr { rt } -> tag 18; v rt
+  | SetMsr { rs } -> tag 19; v rs
+  | CommitG { arch; src } -> tag 20; v arch; v src
+  | CommitCr { arch; src } -> tag 21; v arch; v src
+  | CommitLr { src } -> tag 22; v src
+  | CommitCtr { src } -> tag 23; v src
+  | CommitCa { src } -> tag 24; v src
+
+let get_op r : Op.t =
+  let v () = get_vint r in
+  match get_u8 r with
+  | 0 ->
+    let op = need "xo_op" (Ppc.Insn.xo_of_code (v ())) in
+    let rt = v () in let ra = v () in let rb = v () in let ca = v () in
+    Bin { op; rt; ra; rb; ca; spec = get_bool r }
+  | 1 ->
+    let op = need "ibin" (Op.ibin_of_code (v ())) in
+    let rt = v () in let ra = v () in let imm = v () in
+    BinI { op; rt; ra; imm; spec = get_bool r }
+  | 2 ->
+    let op = need "x_op" (Ppc.Insn.x_of_code (v ())) in
+    let rt = v () in let ra = v () in let rb = v () in
+    Logic { op; rt; ra; rb; spec = get_bool r }
+  | 3 ->
+    let op = need "x1_op" (Ppc.Insn.x1_of_code (v ())) in
+    let rt = v () in let ra = v () in
+    Un { op; rt; ra; spec = get_bool r }
+  | 4 ->
+    let rt = v () in let ra = v () in let sh = v () in
+    SrawiOp { rt; ra; sh; spec = get_bool r }
+  | 5 ->
+    let rt = v () in let ra = v () in let sh = v () in
+    let mb = v () in let me = v () in
+    RlwinmOp { rt; ra; sh; mb; me; spec = get_bool r }
+  | 6 ->
+    let signed = get_bool r in
+    let crt = v () in let ra = v () in let rb = v () in
+    CmpOp { signed; crt; ra; rb; spec = get_bool r }
+  | 7 ->
+    let signed = get_bool r in
+    let crt = v () in let ra = v () in let imm = v () in
+    CmpIOp { signed; crt; ra; imm; spec = get_bool r }
+  | 8 ->
+    let w = need "width" (Ppc.Insn.width_of_code (v ())) in
+    let alg = get_bool r in
+    let rt = v () in let base = v () in let off = get_off r in
+    let spec = get_bool r in
+    LoadOp { w; alg; rt; base; off; spec; passed = get_bool r }
+  | 9 ->
+    let w = need "width" (Ppc.Insn.width_of_code (v ())) in
+    let rs = v () in let base = v () in
+    StoreOp { w; rs; base; off = get_off r }
+  | 10 ->
+    let op = need "cr_op" (Ppc.Insn.cr_op_of_code (v ())) in
+    let bt = v () in let ba = v () in let bb = v () in let old = v () in
+    CropOp { op; bt; ba; bb; old; spec = get_bool r }
+  | 11 ->
+    let dst = v () in let src = v () in
+    McrfOp { dst; src; spec = get_bool r }
+  | 12 ->
+    let rt = v () in
+    let n = get_count r "mfcr srcs" in
+    if n <> 8 then corrupt "mfcr with %d fields" n;
+    MfcrOp { rt; srcs = Array.init n (fun _ -> v ()) }
+  | 13 ->
+    let crt = v () in let rs = v () in
+    CrSetOp { crt; rs; pos = v () }
+  | 14 -> GetXer { rt = v () }
+  | 15 -> SetXer { rs = v () }
+  | 16 ->
+    let rt = v () in
+    GetSpr { rt; spr = need "spr" (Op.spr_of_code (v ())) }
+  | 17 ->
+    let spr = need "spr" (Op.spr_of_code (v ())) in
+    SetSpr { spr; rs = v () }
+  | 18 -> GetMsr { rt = v () }
+  | 19 -> SetMsr { rs = v () }
+  | 20 -> let arch = v () in CommitG { arch; src = v () }
+  | 21 -> let arch = v () in CommitCr { arch; src = v () }
+  | 22 -> CommitLr { src = v () }
+  | 23 -> CommitCtr { src = v () }
+  | 24 -> CommitCa { src = v () }
+  | n -> corrupt "bad op tag %d" n
+
+(* ------------------------------------------------------------------ *)
+(* Trees                                                               *)
+
+let put_exit b (e : T.exit) =
+  match e with
+  | Next id -> put_u8 b 0; put_vint b id
+  | OnPage off -> put_u8 b 1; put_vint b off
+  | OffPage a -> put_u8 b 2; put_vint b a
+  | Indirect (l, k) ->
+    put_u8 b 3;
+    put_vint b l;
+    put_u8 b (match k with `Lr -> 0 | `Ctr -> 1 | `Gpr -> 2)
+  | Trap (Tsc a) -> put_u8 b 4; put_vint b a
+  | Trap Trfi -> put_u8 b 5
+  | Trap (Tillegal a) -> put_u8 b 6; put_vint b a
+
+let get_exit r : T.exit =
+  match get_u8 r with
+  | 0 -> Next (get_vint r)
+  | 1 -> OnPage (get_vint r)
+  | 2 -> OffPage (get_vint r)
+  | 3 ->
+    let l = get_vint r in
+    let k =
+      match get_u8 r with
+      | 0 -> `Lr
+      | 1 -> `Ctr
+      | 2 -> `Gpr
+      | n -> corrupt "bad indirect kind %d" n
+    in
+    Indirect (l, k)
+  | 4 -> Trap (Tsc (get_vint r))
+  | 5 -> Trap Trfi
+  | 6 -> Trap (Tillegal (get_vint r))
+  | n -> corrupt "bad exit tag %d" n
+
+(* [node.ops] is stored in its in-memory (reversed) order so the decode
+   is an exact structural round-trip. *)
+let rec put_node b (n : T.node) =
+  put_vint b (List.length n.ops);
+  List.iter
+    (fun (seq, op) ->
+      put_vint b seq;
+      put_op b op)
+    n.ops;
+  match n.kind with
+  | Open -> put_u8 b 0
+  | Exit e -> put_u8 b 1; put_exit b e
+  | Branch { test; taken; fall } ->
+    put_u8 b 2;
+    put_vint b test.bit;
+    put_bool b test.sense;
+    put_node b taken;
+    put_node b fall
+
+let rec get_node r : T.node =
+  let nops = get_count r "op" in
+  let ops =
+    List.init nops (fun _ ->
+        let seq = get_vint r in
+        (seq, get_op r))
+  in
+  let kind : T.kind =
+    match get_u8 r with
+    | 0 -> Open
+    | 1 -> Exit (get_exit r)
+    | 2 ->
+      let bit = get_vint r in
+      let sense = get_bool r in
+      let taken = get_node r in
+      Branch { test = { bit; sense }; taken; fall = get_node r }
+    | n -> corrupt "bad node kind %d" n
+  in
+  { ops; kind }
+
+let put_tree b (t : T.t) =
+  put_vint b t.id;
+  put_vint b t.precise_entry;
+  put_bool b t.is_entry;
+  put_vint b t.alu;
+  put_vint b t.mem;
+  put_vint b t.br;
+  put_vint b t.free_gprs;
+  put_vint b t.free_crs;
+  put_node b t.root
+
+let get_tree r : T.t =
+  let id = get_vint r in
+  let precise_entry = get_vint r in
+  let is_entry = get_bool r in
+  let alu = get_vint r in
+  let mem = get_vint r in
+  let br = get_vint r in
+  let free_gprs = get_vint r in
+  let free_crs = get_vint r in
+  { id; precise_entry; is_entry; alu; mem; br; free_gprs; free_crs;
+    root = get_node r }
+
+(* ------------------------------------------------------------------ *)
+(* Pages                                                               *)
+
+let encode_xpage (p : Translate.xpage) =
+  let b = Buffer.create 4096 in
+  put_vint b p.base;
+  put_vint b p.psize;
+  put_vint b p.code_bytes;
+  put_vint b p.next_addr;
+  put_vint b p.insns_scheduled;
+  put_vint b (Vec.length p.vliws);
+  Vec.iteri
+    (fun i v ->
+      put_tree b v;
+      put_vint b (Vec.get p.addrs i);
+      put_vint b (Vec.get p.sizes i))
+    p.vliws;
+  let entries =
+    Hashtbl.fold (fun off id acc -> (off, id) :: acc) p.entries []
+    |> List.sort compare
+  in
+  put_vint b (List.length entries);
+  List.iter
+    (fun (off, id) ->
+      put_vint b off;
+      put_vint b id)
+    entries;
+  Buffer.contents b
+
+let decode_xpage s : Translate.xpage =
+  let r = reader s in
+  let base = get_vint r in
+  let psize = get_vint r in
+  if base < 0 || psize <= 0 then corrupt "bad page geometry";
+  let code_bytes = get_vint r in
+  let next_addr = get_vint r in
+  let insns_scheduled = get_vint r in
+  let nv = get_count r "vliw" in
+  let vliws = Vec.create () and addrs = Vec.create () and sizes = Vec.create () in
+  for _ = 1 to nv do
+    Vec.push vliws (get_tree r);
+    Vec.push addrs (get_vint r);
+    Vec.push sizes (get_vint r)
+  done;
+  let ne = get_count r "entry" in
+  let entries = Hashtbl.create (max 16 ne) in
+  for _ = 1 to ne do
+    let off = get_vint r in
+    let id = get_vint r in
+    if off < 0 || off >= psize then corrupt "entry offset %d out of page" off;
+    if id < 0 || id >= nv then corrupt "entry VLIW id %d out of range" id;
+    Hashtbl.replace entries off id
+  done;
+  if r.pos <> String.length s then
+    corrupt "%d trailing bytes" (String.length s - r.pos);
+  { base; psize; vliws; addrs; sizes; entries; code_bytes; next_addr;
+    insns_scheduled }

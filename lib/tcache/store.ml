@@ -1,0 +1,231 @@
+(* The content-addressed on-disk store for translated pages.
+
+   One entry per file, named by the hex digest of everything that
+   determines the translation's bytes:
+
+     key = MD5(frontend \0 params-fingerprint \0 page-base \0 page-bytes)
+
+   Keying on the *exact input bytes* is what makes reuse sound (the
+   deterministic-translation argument): if the base page's bytes, its
+   address, the translator configuration or the front end differ in any
+   way, the key differs and the entry is simply never found.  The page
+   base participates because translations embed absolute addresses
+   (precise entry points, OFFPAGE targets, the VLIW-space layout).
+
+   File layout (all multi-byte integers via the codec's varints):
+
+     magic "DTCE" | version u8
+     | frontend str | fingerprint str
+     | base vint | psize vint | spec_inhibited bool
+     | vliws vint | entries vint | payload_len vint
+     | payload MD5 (16 raw bytes) | payload (Codec.encode_xpage)
+
+   Crash safety: entries are written to a unique temp file in the same
+   directory and [Sys.rename]d into place, so a reader never observes a
+   half-written entry and a killed writer leaves only a stray temp file
+   (swept by [clear_dir]).  A truncated, bit-flipped or future-version
+   entry fails the magic/version/checksum/decode ladder and reports as
+   [`Corrupt]; the VMM then falls back to a normal translate. *)
+
+let magic = "DTCE"
+
+type t = {
+  dir : string;
+  frontend : string;
+  fingerprint : string;
+}
+
+type probe_result =
+  [ `Hit of Translator.Translate.xpage * bool  (** page, spec_inhibited *)
+  | `Miss
+  | `Corrupt of string ]
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let open_store ~dir ~frontend ~fingerprint =
+  mkdir_p dir;
+  { dir; frontend; fingerprint }
+
+(** The content-addressed key for a page: [bytes] are the page's exact
+    base-architecture bytes, [base] its physical base address. *)
+let key t ~base bytes =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ t.frontend; t.fingerprint; string_of_int base; bytes ]))
+
+let path_of t k = Filename.concat t.dir (k ^ ".dtc")
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+type header = {
+  h_version : int;
+  h_frontend : string;
+  h_fingerprint : string;
+  h_base : int;
+  h_psize : int;
+  h_spec_inhibited : bool;
+  h_vliws : int;
+  h_entries : int;
+  h_payload : string;  (** checksum-verified encoded page *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse and checksum-verify one entry file; raises {!Codec.Corrupt}. *)
+let parse_entry s =
+  let mlen = String.length magic in
+  if String.length s < mlen + 1 then Codec.corrupt "truncated header";
+  if String.sub s 0 mlen <> magic then Codec.corrupt "bad magic";
+  let h_version = Char.code s.[mlen] in
+  if h_version <> Codec.version then
+    Codec.corrupt "version %d (want %d)" h_version Codec.version;
+  let r = Codec.reader s in
+  r.pos <- mlen + 1;
+  let h_frontend = Codec.get_str r in
+  let h_fingerprint = Codec.get_str r in
+  let h_base = Codec.get_vint r in
+  let h_psize = Codec.get_vint r in
+  let h_spec_inhibited = Codec.get_bool r in
+  let h_vliws = Codec.get_vint r in
+  let h_entries = Codec.get_vint r in
+  let plen = Codec.get_vint r in
+  if plen < 0 || r.pos + 16 + plen <> String.length s then
+    Codec.corrupt "payload length %d disagrees with file size" plen;
+  let sum = String.sub s r.pos 16 in
+  let h_payload = String.sub s (r.pos + 16) plen in
+  if Digest.string h_payload <> sum then Codec.corrupt "checksum mismatch";
+  { h_version; h_frontend; h_fingerprint; h_base; h_psize; h_spec_inhibited;
+    h_vliws; h_entries; h_payload }
+
+let probe t ~key:k : probe_result =
+  let path = path_of t k in
+  if not (Sys.file_exists path) then `Miss
+  else
+    match
+      let h = parse_entry (read_file path) in
+      if h.h_frontend <> t.frontend || h.h_fingerprint <> t.fingerprint then
+        Codec.corrupt "fingerprint mismatch";
+      let page = Codec.decode_xpage h.h_payload in
+      if page.base <> h.h_base then Codec.corrupt "base mismatch";
+      (page, h.h_spec_inhibited)
+    with
+    | page, si -> `Hit (page, si)
+    | exception Codec.Corrupt msg -> `Corrupt msg
+    | exception Sys_error msg -> `Corrupt ("io: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+(** Persist [page] under [key], atomically (temp file + rename).
+    Returns the entry's size in bytes. *)
+let persist t ~key:k (page : Translator.Translate.xpage) ~spec_inhibited =
+  let payload = Codec.encode_xpage page in
+  let b = Buffer.create (String.length payload + 256) in
+  Buffer.add_string b magic;
+  Codec.put_u8 b Codec.version;
+  Codec.put_str b t.frontend;
+  Codec.put_str b t.fingerprint;
+  Codec.put_vint b page.base;
+  Codec.put_vint b page.psize;
+  Codec.put_bool b spec_inhibited;
+  Codec.put_vint b (Translator.Vec.length page.vliws);
+  Codec.put_vint b (Hashtbl.length page.entries);
+  Codec.put_vint b (String.length payload);
+  Buffer.add_string b (Digest.string payload);
+  Buffer.add_string b payload;
+  let tmp = Filename.temp_file ~temp_dir:t.dir ".tcache" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> Buffer.output_buffer oc b);
+     Sys.rename tmp (path_of t k)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Buffer.length b
+
+(** Drop the entry under [key], if present; tells whether one was. *)
+let evict t ~key:k =
+  let path = path_of t k in
+  match Sys.remove path with
+  | () -> true
+  | exception Sys_error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Directory tools (daisy tcache stats / ls / clear)                   *)
+
+type info = {
+  key : string;
+  file_bytes : int;
+  version : int;
+  frontend : string;
+  fingerprint : string;
+  base : int;
+  psize : int;
+  spec_inhibited : bool;
+  vliws : int;
+  entries : int;
+  status : [ `Ok | `Corrupt of string ];
+}
+
+let entry_files dir =
+  match Sys.readdir dir with
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".dtc")
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
+(** Inspect every entry in [dir]: header fields plus checksum
+    validation (payloads are not fully decoded). *)
+let list_dir dir =
+  List.map
+    (fun f ->
+      let key = Filename.chop_suffix f ".dtc" in
+      let blank status =
+        { key; file_bytes = 0; version = 0; frontend = "?"; fingerprint = "?";
+          base = 0; psize = 0; spec_inhibited = false; vliws = 0; entries = 0;
+          status }
+      in
+      match read_file (Filename.concat dir f) with
+      | exception Sys_error msg -> blank (`Corrupt ("io: " ^ msg))
+      | s -> (
+        match parse_entry s with
+        | h ->
+          { key; file_bytes = String.length s; version = h.h_version;
+            frontend = h.h_frontend; fingerprint = h.h_fingerprint;
+            base = h.h_base; psize = h.h_psize;
+            spec_inhibited = h.h_spec_inhibited; vliws = h.h_vliws;
+            entries = h.h_entries; status = `Ok }
+        | exception Codec.Corrupt msg ->
+          { (blank (`Corrupt msg)) with file_bytes = String.length s }))
+    (entry_files dir)
+
+(** Remove every entry and stray temp file in [dir]; returns the number
+    of files removed. *)
+let clear_dir dir =
+  let files =
+    match Sys.readdir dir with
+    | files ->
+      Array.to_list files
+      |> List.filter (fun f ->
+             Filename.check_suffix f ".dtc" || Filename.check_suffix f ".tmp")
+    | exception Sys_error _ -> []
+  in
+  List.fold_left
+    (fun n f ->
+      match Sys.remove (Filename.concat dir f) with
+      | () -> n + 1
+      | exception Sys_error _ -> n)
+    0 files

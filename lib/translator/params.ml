@@ -49,3 +49,19 @@ let traditional ?profile () =
 
 let with_config config t = { t with config }
 let with_page_size page_size t = { t with page_size }
+
+(** A stable, human-readable digest of every parameter that can change
+    the translator's output for the same input bytes.  The persistent
+    translation cache (lib/tcache) keys entries on this fingerprint, so
+    a cache populated under one configuration is never consulted by a
+    run under another.  Profile-directed feedback changes branch
+    probabilities per site; its mere presence conservatively forks the
+    cache namespace. *)
+let fingerprint t =
+  Printf.sprintf
+    "cfg=%s/%d-%d-%d-%d;page=%d;join=%d;win=%d;ren=%b;spec=%b;fwd=%b;\
+     multi=%b;pb=%g;pf=%g;ph=%g;prof=%b;guard=%b;adapt=%b;watch=%b"
+    t.config.name t.config.issue t.config.alu t.config.mem t.config.branches
+    t.page_size t.join_limit t.window t.rename t.load_spec t.store_forward
+    t.multipath t.prob_backward t.prob_forward t.prob_hint
+    (t.profile <> None) t.guard_indirect t.adaptive_alias t.watch_code

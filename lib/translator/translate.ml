@@ -102,6 +102,19 @@ let invalidate t addr =
 
 let translated t addr = Hashtbl.mem t.pages (page_base t addr)
 
+(** Was [addr]'s page marked to inhibit load speculation? *)
+let load_spec_inhibited t addr = Hashtbl.mem t.load_spec_off (page_base t addr)
+
+(** Install an already-translated page — decoded from the persistent
+    translation cache — without doing any translation work: none of the
+    [totals] move, which is what lets a warm run report zero pages
+    translated.  [spec_inhibited] restores the page's adaptive
+    no-load-speculation mark so a retranslation after invalidation
+    reproduces the cached shape. *)
+let install t ?(spec_inhibited = false) (page : xpage) =
+  Hashtbl.replace t.pages page.base page;
+  if spec_inhibited then Hashtbl.replace t.load_spec_off page.base ()
+
 (** Does [addr] already have a valid translated entry point?  (Unlike
     {!entry} this never triggers translation work.) *)
 let has_entry t addr =

@@ -83,6 +83,32 @@ let is_commit = function
   | CommitG _ | CommitCr _ | CommitLr _ | CommitCtr _ | CommitCa _ -> true
   | _ -> false
 
+(* Stable small-integer codes for the persistent translation cache's
+   binary codec (lib/tcache).  On-disk format: append new codes, never
+   renumber, and bump the codec version when the shape changes.  The
+   [*_of_code] direction returns [None] for unknown codes so a corrupt
+   or newer-format entry decodes to a clean failure, not a bogus op. *)
+
+let ibin_code = function
+  | IAdd -> 0 | IAddc -> 1 | IMul -> 2 | IAnd -> 3 | IOr -> 4 | IXor -> 5
+
+let ibin_of_code = function
+  | 0 -> Some IAdd | 1 -> Some IAddc | 2 -> Some IMul | 3 -> Some IAnd
+  | 4 -> Some IOr | 5 -> Some IXor | _ -> None
+
+let spr_code = function
+  | Xer -> 0 | Srr0 -> 1 | Srr1 -> 2 | Dar -> 3 | Dsisr -> 4 | Sprg0 -> 5
+  | Sprg1 -> 6 | Msr -> 7
+
+let spr_of_code = function
+  | 0 -> Some Xer | 1 -> Some Srr0 | 2 -> Some Srr1 | 3 -> Some Dar
+  | 4 -> Some Dsisr | 5 -> Some Sprg0 | 6 -> Some Sprg1 | 7 -> Some Msr
+  | _ -> None
+
+(** Structural equality (operands of [MfcrOp] are arrays, so the
+    polymorphic compare is the right notion here). *)
+let equal (a : t) (b : t) = a = b
+
 let pp_loc ppf l =
   if l = zero then Format.pp_print_string ppf "0"
   else if l = lr_loc then Format.pp_print_string ppf "lr"

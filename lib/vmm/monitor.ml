@@ -48,6 +48,11 @@ type stats = {
   mutable code_invalidations : int;
   mutable stall_cycles : int;     (** finite-cache stalls *)
   mutable itlb_misses : int;
+  mutable tcache_hits : int;      (** pages installed from the persistent cache *)
+  mutable tcache_misses : int;
+  mutable tcache_corrupt : int;   (** entries rejected (truncated, bad version…) *)
+  mutable tcache_persists : int;  (** fresh translations written out *)
+  mutable tcache_evicts : int;    (** entries dropped after invalidation *)
 }
 
 let fresh_stats () =
@@ -55,7 +60,9 @@ let fresh_stats () =
     aliases = 0; cross_direct = 0; cross_lr = 0; cross_ctr = 0; cross_gpr = 0;
     onpage_jumps = 0; loads = 0; stores = 0; vliws_with_load_miss = 0;
     syscalls = 0; external_interrupts = 0; adaptive_retranslations = 0;
-    code_invalidations = 0; stall_cycles = 0; itlb_misses = 0 }
+    code_invalidations = 0; stall_cycles = 0; itlb_misses = 0;
+    tcache_hits = 0; tcache_misses = 0; tcache_corrupt = 0;
+    tcache_persists = 0; tcache_evicts = 0 }
 
 (* --- Instrumentation interface -------------------------------------
 
@@ -100,6 +107,17 @@ type event =
   | Code_invalidated of { cycle : int; page : int }
   | Syscall_trap of { cycle : int; next : int }
   | External_interrupt of { cycle : int }
+  | Tcache_hit of {
+      cycle : int;
+      page : int;
+      vliws : int;    (** tree VLIWs installed without translating *)
+      bytes : int;    (** translated code bytes in the entry *)
+      seconds : float;  (** wall time to load and decode the entry *)
+    }
+  | Tcache_miss of { cycle : int; page : int }
+  | Tcache_corrupt of { cycle : int; page : int; reason : string }
+  | Tcache_persist of { cycle : int; page : int; bytes : int }
+  | Tcache_evict of { cycle : int; page : int }
 
 type t = {
   tr : Translate.t;
@@ -108,6 +126,9 @@ type t = {
   interp_step : unit -> unit;
   mem : Mem.t;
   stats : stats;
+  tcache : Tcache.Store.t option;
+      (** the persistent translation cache, when [run --tcache] gave us
+          a directory *)
   mutable spec_log : Exec.access list;
       (** speculative loads that bypassed stores, outstanding in the
           current group execution *)
@@ -151,13 +172,92 @@ let now t = t.stats.vliws + t.stats.interp_insns
 (* [emit] takes a thunk so the disabled path allocates nothing. *)
 let emit t ev = match t.event_hook with Some h -> h (ev ()) | None -> ()
 
-let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc) mem =
+(* --- Persistent translation cache (lib/tcache) ---------------------
+
+   The content-addressed key is computed from the page's *current*
+   bytes, so every call site must run before those bytes change; the
+   self-modifying-code hook qualifies because [Mem.t.on_store] fires
+   before the store lands. *)
+
+let tcache_key t store base =
+  let len = min t.tr.params.page_size (Mem.size t.mem - base) in
+  Tcache.Store.key store ~base (Mem.read_string t.mem base len)
+
+(* Probe the store for [addr]'s page and install the decoded
+   translation; any anomaly counts as corrupt and falls through to a
+   normal translate. *)
+let tcache_probe t addr =
+  match t.tcache with
+  | None -> ()
+  | Some store ->
+    let base = Translate.page_base t.tr addr in
+    let key = tcache_key t store base in
+    let t0 = Sys.time () in
+    (match Tcache.Store.probe store ~key with
+    | `Hit (page, spec_inhibited) when page.base = base ->
+      let seconds = Sys.time () -. t0 in
+      Translate.install t.tr ~spec_inhibited page;
+      t.stats.tcache_hits <- t.stats.tcache_hits + 1;
+      emit t (fun () ->
+          Tcache_hit
+            { cycle = now t; page = base; vliws = Vec.length page.vliws;
+              bytes = page.code_bytes; seconds })
+    | `Hit _ ->
+      t.stats.tcache_corrupt <- t.stats.tcache_corrupt + 1;
+      emit t (fun () ->
+          Tcache_corrupt
+            { cycle = now t; page = base; reason = "page base mismatch" })
+    | `Miss ->
+      t.stats.tcache_misses <- t.stats.tcache_misses + 1;
+      emit t (fun () -> Tcache_miss { cycle = now t; page = base })
+    | `Corrupt reason ->
+      t.stats.tcache_corrupt <- t.stats.tcache_corrupt + 1;
+      emit t (fun () -> Tcache_corrupt { cycle = now t; page = base; reason }))
+
+(* Write [page]'s translation out (also after an extension of an
+   already-persisted page: same key, superset entry, plain overwrite). *)
+let tcache_persist t (page : Translate.xpage) =
+  match t.tcache with
+  | None -> ()
+  | Some store ->
+    let key = tcache_key t store page.base in
+    let spec_inhibited = Translate.load_spec_inhibited t.tr page.base in
+    (match Tcache.Store.persist store ~key page ~spec_inhibited with
+    | bytes ->
+      t.stats.tcache_persists <- t.stats.tcache_persists + 1;
+      emit t (fun () ->
+          Tcache_persist { cycle = now t; page = page.base; bytes })
+    | exception Sys_error _ -> () (* unwritable dir: cache is best-effort *))
+
+(* Drop the entry for a page whose translation just became invalid
+   (self-modifying code, adaptive retranslation).  Cast-outs do NOT
+   evict: a translation dropped only for code-cache capacity is still
+   correct, and the refill becomes a cache hit. *)
+let tcache_evict t base =
+  match t.tcache with
+  | None -> ()
+  | Some store ->
+    let key = tcache_key t store base in
+    if Tcache.Store.evict store ~key then begin
+      t.stats.tcache_evicts <- t.stats.tcache_evicts + 1;
+      emit t (fun () -> Tcache_evict { cycle = now t; page = base })
+    end
+
+let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
+    ?tcache_dir mem =
   let m = Machine.create () in
   let st = Vliw.Vstate.create m in
   let tr = Translate.create ~frontend params mem in
+  let tcache =
+    Option.map
+      (fun dir ->
+        Tcache.Store.open_store ~dir ~frontend:frontend.name
+          ~fingerprint:(Params.fingerprint params))
+      tcache_dir
+  in
   let t =
     { tr; st; fe = frontend; interp_step = frontend.make_step m mem; mem;
-      stats = fresh_stats ();
+      stats = fresh_stats (); tcache;
       spec_log = []; current_page = -1; invalidated = false;
       pending_selfmod = false; fetch_hook = None; access_hook = None;
       interp_fetch_hook = None; timer_interval = None; timer_count = 0;
@@ -181,6 +281,9 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc) mem 
       Some
         (fun addr _n ->
           if Translate.translated tr addr then (
+            (* the hook fires before the bytes change, so the page still
+               digests to the key the stale entry was stored under *)
+            tcache_evict t (Translate.page_base tr addr);
             Translate.invalidate tr addr;
             t.stats.code_invalidations <- t.stats.code_invalidations + 1;
             emit t (fun () ->
@@ -272,23 +375,35 @@ let run t ~entry ~fuel =
       stats.itlb_misses <- stats.itlb_misses + 1;
       stats.stall_cycles <- stats.stall_cycles + t.itlb_miss_cost
     end;
+    (* translation missing: the persistent cache is probed first, and
+       only for pages with no in-memory translation at all — a page
+       that merely lacks this entry point gets extended in place *)
+    if
+      t.tcache <> None
+      && (not (Translate.has_entry t.tr addr))
+      && not (Translate.translated t.tr addr)
+    then tcache_probe t addr;
     let page, id =
-      match t.event_hook with
-      | Some h when not (Translate.has_entry t.tr addr) ->
+      if Translate.has_entry t.tr addr then Translate.entry t.tr addr
+      else begin
         (* fresh translation work: bracket it with begin/end events
-           carrying the translator-total deltas for this unit *)
+           carrying the translator-total deltas for this unit, then
+           persist the (new or extended) page *)
         let tot = t.tr.totals in
         let base = Translate.page_base t.tr addr in
         let i0 = tot.insns and v0 = tot.vliws_made in
         let b0 = tot.code_bytes and g0 = tot.groups in
-        h (Translate_begin { cycle = now t; page = base; entry = addr });
+        emit t (fun () ->
+            Translate_begin { cycle = now t; page = base; entry = addr });
         let res = Translate.entry t.tr addr in
-        h (Translate_end
-             { cycle = now t; page = base; entry = addr;
-               insns = tot.insns - i0; vliws = tot.vliws_made - v0;
-               bytes = tot.code_bytes - b0; groups = tot.groups - g0 });
+        emit t (fun () ->
+            Translate_end
+              { cycle = now t; page = base; entry = addr;
+                insns = tot.insns - i0; vliws = tot.vliws_made - v0;
+                bytes = tot.code_bytes - b0; groups = tot.groups - g0 });
+        tcache_persist t (fst res);
         res
-      | _ -> Translate.entry t.tr addr
+      end
     in
     t.lru_tick <- t.lru_tick + 1;
     Hashtbl.replace t.lru page.base t.lru_tick;
@@ -385,6 +500,10 @@ let run t ~entry ~fuel =
           (* frequent aliasing: retranslate this page with load
              speculation inhibited (Section 5's suggested refinement) *)
           if n = 32 then begin
+            (* the persisted entry embeds speculation decisions the
+               tally just disproved; drop it so the retranslation (with
+               load speculation off) is what gets re-persisted *)
+            tcache_evict t t.current_page;
             Translate.inhibit_load_spec t.tr t.current_page;
             Translate.invalidate t.tr t.current_page;
             stats.adaptive_retranslations <- stats.adaptive_retranslations + 1;

@@ -48,16 +48,18 @@ let reference (w : Workloads.Wl.t) =
 
 exception Mismatch of string
 
-(** [run ?params ?hierarchy ?instrument w] executes [w] under DAISY and
-    returns the full set of measurements.  [instrument] is called with
-    the freshly-created VMM before execution starts, so observability
-    sinks can attach to {!Monitor.t.event_hook}.  Raises {!Mismatch} if
-    the translated execution diverges from the reference interpreter in
-    any observable way. *)
-let run ?(params = Params.default) ?hierarchy ?instrument (w : Workloads.Wl.t) =
+(** [run ?params ?hierarchy ?instrument ?tcache_dir w] executes [w]
+    under DAISY and returns the full set of measurements.  [instrument]
+    is called with the freshly-created VMM before execution starts, so
+    observability sinks can attach to {!Monitor.t.event_hook}.
+    [tcache_dir] enables the persistent translation cache there.
+    Raises {!Mismatch} if the translated execution diverges from the
+    reference interpreter in any observable way. *)
+let run ?(params = Params.default) ?hierarchy ?instrument ?tcache_dir
+    (w : Workloads.Wl.t) =
   let rcode, rst, rmem, it = reference w in
   let mem, entry = Workloads.Wl.instantiate w in
-  let vmm = Monitor.create ~params mem in
+  let vmm = Monitor.create ~params ?tcache_dir mem in
   let load_misses = ref 0 and store_misses = ref 0 and imiss = ref 0 in
   let stall = ref 0 in
   (match hierarchy with
@@ -94,6 +96,8 @@ let run ?(params = Params.default) ?hierarchy ?instrument (w : Workloads.Wl.t) =
     raise (Mismatch (w.name ^ ": architected state diverged"));
   if not (Bytes.equal rmem.bytes mem.bytes) then
     raise (Mismatch (w.name ^ ": memory diverged"));
+  if Mem.output rmem <> Mem.output mem then
+    raise (Mismatch (w.name ^ ": console output diverged"));
   let s = vmm.stats in
   let cycles_inf = s.vliws + s.interp_insns in
   let cycles_fin = cycles_inf + !stall in
