@@ -94,7 +94,7 @@ let tcache_series () =
             ("warm_seconds", J.Float warm_s) ])
       Workloads.Registry.all
   in
-  let removed = Tcache.Store.clear_dir dir in
+  let removed, _skipped = Tcache.Store.clear_dir dir in
   (try Sys.rmdir dir with Sys_error _ -> ());
   Printf.printf "(cache entries written and cleaned up: %d)\n" removed;
   J.Arr rows

@@ -5,7 +5,14 @@
      daisy profile <workload>       — per-page hotness profile
      daisy trees <workload>         — dump the entry page's tree VLIWs
      daisy experiments [ids]        — regenerate paper tables/figures
-     daisy ladder <workload>        — the parallelism ladder (Ch. 6)    *)
+     daisy ladder <workload>        — the parallelism ladder (Ch. 6)
+     daisy fuzz --seed S --pages N  — differential fuzzing vs. the
+                                      reference interpreter
+
+   Exit codes: 0 = ran and verified; 3 = differential verification
+   failed (a compatibility bug); 4 = verified bit-exact, but only by
+   degrading — the ladder quarantined pages or pinned them to
+   interpretation after injected/real faults. *)
 
 open Cmdliner
 module Params = Translator.Params
@@ -71,6 +78,54 @@ let params_term =
   Term.(const make $ config $ page $ window $ join $ no_rename $ no_spec
         $ no_fwd $ single $ adaptive)
 
+(* Shared --fault-* flags: every injector class of lib/fault, off by
+   default.  Returns [None] when every rate is zero (no hooks are
+   attached at all). *)
+let fault_term =
+  let seed =
+    Arg.(value & opt int 0xDA15
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Seed for the fault-injection RNG streams.")
+  in
+  let rate name doc =
+    Arg.(value & opt float 0. & info [ name ] ~docv:"RATE" ~doc)
+  in
+  let tr = rate "fault-translator" "Translator crash probability per translation request." in
+  let bf = rate "fault-bitflip" "Probability of corrupting a tree-VLIW node per page install." in
+  let po = rate "fault-tcache" "Probability of flipping a byte in each persisted tcache entry." in
+  let ir = rate "fault-interrupts" "External-interrupt probability per VLIW-tree boundary." in
+  let st = rate "fault-storms" "Probability a page-fault storm starts, per VLIW." in
+  let sl =
+    Arg.(value & opt int 16
+         & info [ "fault-storm-length" ] ~docv:"N"
+             ~doc:"Forced faults per storm.")
+  in
+  let cocktail =
+    Arg.(value & flag
+         & info [ "fault-cocktail" ]
+             ~doc:"Enable every injector class at its default rate.")
+  in
+  let make seed tr bf po ir st sl cocktail =
+    let d = if cocktail then Fault.Inject.cocktail else Fault.Inject.quiet in
+    let pick v dflt = if v > 0. then v else dflt in
+    let cfg =
+      { Fault.Inject.seed;
+        translator_fault_rate = pick tr d.translator_fault_rate;
+        bitflip_rate = pick bf d.bitflip_rate;
+        tcache_poison_rate = pick po d.tcache_poison_rate;
+        interrupt_rate = pick ir d.interrupt_rate;
+        storm_rate = pick st d.storm_rate;
+        storm_length = sl }
+    in
+    if
+      cfg.translator_fault_rate > 0. || cfg.bitflip_rate > 0.
+      || cfg.tcache_poison_rate > 0. || cfg.interrupt_rate > 0.
+      || cfg.storm_rate > 0.
+    then Some cfg
+    else None
+  in
+  Term.(const make $ seed $ tr $ bf $ po $ ir $ st $ sl $ cocktail)
+
 let with_out path f =
   match open_out path with
   | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
@@ -129,7 +184,7 @@ let run_cmd =
   in
   let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
   let run w params finite trace_out trace_format trace_cap metrics_out
-      tcache_dir =
+      tcache_dir faults =
     if trace_cap <= 0 then begin
       Printf.eprintf "daisy: --trace-cap must be positive\n";
       exit 2
@@ -144,9 +199,26 @@ let run_cmd =
       | None, None -> None
       | _ -> Some (Obs.Bridge.create ?tracer ?metrics ())
     in
-    let instrument = Option.map (fun b vmm -> Obs.Bridge.attach b vmm) bridge in
+    let inject = Option.map Fault.Inject.create faults in
+    let instrument =
+      match (bridge, inject) with
+      | None, None -> None
+      | _ ->
+        Some
+          (fun vmm ->
+            (match bridge with Some b -> Obs.Bridge.attach b vmm | None -> ());
+            (match inject with Some i -> Fault.Inject.attach i vmm | None -> ()))
+    in
+    (* a transparent injected interrupt leaves exactly one architected
+       trace: the mini OS's interrupt counter word *)
+    let ignore_mem =
+      match faults with
+      | Some (f : Fault.Inject.config) when f.interrupt_rate > 0. ->
+        [ Workloads.Wl.interrupt_count_addr ]
+      | _ -> []
+    in
     let r =
-      try Vmm.Run.run ~params ?hierarchy ?instrument ?tcache_dir w
+      try Vmm.Run.run ~params ?hierarchy ?instrument ?tcache_dir ~ignore_mem w
       with Vmm.Run.Mismatch msg ->
         (* differential verification against the reference interpreter
            failed: a correctness bug, never a measurement detail *)
@@ -185,19 +257,32 @@ let run_cmd =
     Printf.printf "translation:          %d pages, %d entries, %d ins scheduled, %d VLIWs, %d code bytes\n"
       r.totals.pages r.totals.entry_points r.totals.insns r.totals.vliws_made
       r.code_bytes;
-    match tcache_dir with
+    (match tcache_dir with
     | None -> ()
     | Some _ ->
       let s = r.stats in
       Printf.printf
         "tcache:               %d hits, %d misses, %d persists, %d evicts, \
-         %d corrupt\n"
+         %d corrupt, %d skipped\n"
         s.tcache_hits s.tcache_misses s.tcache_persists s.tcache_evicts
-        s.tcache_corrupt
+        s.tcache_corrupt s.tcache_skipped);
+    (match inject with
+    | None -> ()
+    | Some i -> Printf.printf "%s\n" (Fault.Inject.report i));
+    let s = r.stats in
+    if Vmm.Run.degraded s then begin
+      Printf.printf
+        "degraded:             %d translator faults, %d exec faults, \
+         %d quarantines, %d retries, %d pages pinned to interpretation\n"
+        s.translator_faults s.exec_faults s.quarantines s.degrade_retries
+        s.interp_pinned;
+      (* verified bit-exact, but only by falling down the ladder *)
+      exit 4
+    end
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ w $ params_term $ finite $ trace_out $ trace_format
-          $ trace_cap $ metrics_out $ tcache_dir)
+          $ trace_cap $ metrics_out $ tcache_dir $ fault_term)
 
 let profile_cmd =
   let doc = "Profile a workload's per-page hotness under DAISY." in
@@ -345,8 +430,14 @@ let tcache_cmd =
         (fun (i : Tcache.Store.info) ->
           match i.status with
           | `Corrupt reason -> Printf.printf "corrupt: %s (%s)\n" i.key reason
+          | `Skipped reason -> Printf.printf "skipped: %s (%s)\n" i.key reason
           | `Ok -> ())
-        bad
+        bad;
+      match Tcache.Store.stray_files dir with
+      | [] -> ()
+      | strays ->
+        Printf.printf "stray files:   %d (not cache entries, left alone)\n"
+          (List.length strays)
     in
     Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ dir)
   in
@@ -362,7 +453,8 @@ let tcache_cmd =
                %7dB%s\n"
               i.key i.frontend i.base i.psize i.vliws i.entries i.file_bytes
               (if i.spec_inhibited then "  spec-off" else "")
-          | `Corrupt reason -> Printf.printf "%s  CORRUPT: %s\n" i.key reason)
+          | `Corrupt reason -> Printf.printf "%s  CORRUPT: %s\n" i.key reason
+          | `Skipped reason -> Printf.printf "%s  SKIPPED: %s\n" i.key reason)
         (Tcache.Store.list_dir dir)
     in
     Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ dir)
@@ -370,11 +462,68 @@ let tcache_cmd =
   let clear_cmd =
     let doc = "Remove every cache entry (and stray temp file) in DIR." in
     let run dir =
-      Printf.printf "removed %d files\n" (Tcache.Store.clear_dir dir)
+      let removed, skipped = Tcache.Store.clear_dir dir in
+      Printf.printf "removed %d files (%d skipped)\n" removed skipped
     in
     Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ dir)
   in
   Cmd.group (Cmd.info "tcache" ~doc) [ stats_cmd; ls_cmd; clear_cmd ]
+
+let fuzz_cmd =
+  let doc =
+    "Differentially fuzz the VMM against the reference interpreter: run \
+     randomly generated (seeded, reproducible) pages on both and compare \
+     final state, memory and console output bit-for-bit.  Mismatches are \
+     shrunk to minimal reproducers on disk.  Combine with the --fault-* \
+     flags to fuzz under fault injection."
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Corpus seed.")
+  in
+  let pages =
+    Arg.(value & opt int 100
+         & info [ "pages" ] ~docv:"N" ~doc:"Number of generated pages.")
+  in
+  let insns =
+    Arg.(value & opt int 96
+         & info [ "insns" ] ~docv:"N" ~doc:"Generated slots per page.")
+  in
+  let fuel =
+    Arg.(value & opt int 100_000
+         & info [ "fuel" ] ~docv:"N"
+             ~doc:"Base-instruction budget per page (both sides out of fuel \
+                   counts as a hang, not a failure).")
+  in
+  let out =
+    Arg.(value & opt string "fuzz-failures"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk reproducer files.")
+  in
+  let replay =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Re-run one reproducer file instead of generating a corpus.")
+  in
+  let run seed pages insns fuel out replay faults =
+    match replay with
+    | Some path ->
+      (match Fault.Fuzz.replay ?faults path with
+      | Match -> Printf.printf "%s: match\n" path
+      | Hang -> Printf.printf "%s: hang (both sides out of fuel)\n" path
+      | Mismatch m ->
+        Printf.printf "%s: MISMATCH: %s\n" path m;
+        exit 3)
+    | None ->
+      let s =
+        Fault.Fuzz.fuzz ?faults ~out_dir:out ~insns ~fuel ~log:print_endline
+          ~seed ~pages ()
+      in
+      Printf.printf "fuzz: %d pages, %d matched, %d hung, %d mismatched\n"
+        s.pages s.matched s.hung s.mismatched;
+      if s.mismatched > 0 then exit 3
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed $ pages $ insns $ fuel $ out $ replay $ fault_term)
 
 let () =
   let doc = "DAISY: dynamic binary translation onto a tree-VLIW machine" in
@@ -383,4 +532,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; profile_cmd; trees_cmd; experiments_cmd;
-            ladder_cmd; tcache_cmd ]))
+            ladder_cmd; tcache_cmd; fuzz_cmd ]))

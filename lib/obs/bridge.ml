@@ -128,6 +128,27 @@ let on_event b (ev : Monitor.event) =
   | Tcache_evict { cycle; page } ->
     trace b ~ts:cycle ~name:"tcache_evict" ~ph:Trace.I
       [ ("page", Json.Int page) ]
+  | Tcache_skipped { cycle; page; reason } ->
+    trace b ~ts:cycle ~name:"tcache_skipped" ~ph:Trace.I
+      [ ("page", Json.Int page); ("reason", Json.Str reason) ]
+  | Translator_fault { cycle; page; entry; reason } ->
+    trace b ~ts:cycle ~name:"translator_fault" ~ph:Trace.I
+      [ ("page", Json.Int page); ("entry", Json.Int entry);
+        ("reason", Json.Str reason) ]
+  | Exec_fault { cycle; page; pc; reason } ->
+    trace b ~ts:cycle ~name:"exec_fault" ~ph:Trace.I
+      [ ("page", Json.Int page); ("pc", Json.Int pc);
+        ("reason", Json.Str reason) ]
+  | Quarantine { cycle; page; failures; until } ->
+    trace b ~ts:cycle ~name:"quarantine" ~ph:Trace.I
+      [ ("page", Json.Int page); ("failures", Json.Int failures);
+        ("until", Json.Int until) ]
+  | Degrade_retry { cycle; page } ->
+    trace b ~ts:cycle ~name:"degrade_retry" ~ph:Trace.I
+      [ ("page", Json.Int page) ]
+  | Interp_pinned { cycle; page } ->
+    trace b ~ts:cycle ~name:"interp_pinned" ~ph:Trace.I
+      [ ("page", Json.Int page) ]
 
 (** Subscribe this bridge to a VMM's event stream. *)
 let attach b (vmm : Monitor.t) = vmm.event_hook <- Some (on_event b)
@@ -165,6 +186,12 @@ let record_result m (r : Vmm.Run.result) =
   c "tcache_corrupt" s.tcache_corrupt;
   c "tcache_persists" s.tcache_persists;
   c "tcache_evicts" s.tcache_evicts;
+  c "tcache_skipped" s.tcache_skipped;
+  c "translator_faults" s.translator_faults;
+  c "exec_faults" s.exec_faults;
+  c "quarantines" s.quarantines;
+  c "degrade_retries" s.degrade_retries;
+  c "interp_pinned" s.interp_pinned;
   c "cycles_infinite" r.cycles_infinite;
   c "cycles_finite" r.cycles_finite;
   c "pages_translated" r.pages_translated;

@@ -91,8 +91,11 @@ let decode_19 w : Insn.t option =
   | _ -> None
 
 (** [decode w] is the instruction encoded by the 32-bit word [w], or
-    [None] if [w] is outside the implemented subset. *)
+    [None] if [w] is outside the implemented subset.  Total for any
+    [int]: values outside the 32-bit range are no instruction at all. *)
 let decode (w : int) : Insn.t option =
+  if w < 0 || w > 0xFFFF_FFFF then None
+  else
   match opcd w with
   | 14 -> Some (Addi (rt w, ra w, d_simm w))
   | 15 -> Some (Addis (rt w, ra w, d_simm w))

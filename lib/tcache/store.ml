@@ -38,7 +38,11 @@ type t = {
 type probe_result =
   [ `Hit of Translator.Translate.xpage * bool  (** page, spec_inhibited *)
   | `Miss
-  | `Corrupt of string ]
+  | `Corrupt of string   (** entry content failed validation *)
+  | `Skipped of string ]
+  (** not an entry at all (a directory squatting on the name) or an
+      entry we cannot read (permissions, I/O error) — never a reason to
+      raise; the VMM counts it and translates normally *)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -75,11 +79,16 @@ type header = {
   h_payload : string;  (** checksum-verified encoded page *)
 }
 
+(* Raises [Sys_error] on unreadable paths and [Codec.Corrupt] when the
+   file shrinks between the size query and the read (a torn truncate:
+   [really_input_string] would otherwise leak [End_of_file]). *)
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+    (fun () ->
+      try really_input_string ic (in_channel_length ic)
+      with End_of_file -> Codec.corrupt "short read")
 
 (* Parse and checksum-verify one entry file; raises {!Codec.Corrupt}. *)
 let parse_entry s =
@@ -110,6 +119,8 @@ let parse_entry s =
 let probe t ~key:k : probe_result =
   let path = path_of t k in
   if not (Sys.file_exists path) then `Miss
+  else if try Sys.is_directory path with Sys_error _ -> false then
+    `Skipped "is a directory"
   else
     match
       let h = parse_entry (read_file path) in
@@ -121,7 +132,7 @@ let probe t ~key:k : probe_result =
     with
     | page, si -> `Hit (page, si)
     | exception Codec.Corrupt msg -> `Corrupt msg
-    | exception Sys_error msg -> `Corrupt ("io: " ^ msg)
+    | exception Sys_error msg -> `Skipped ("io: " ^ msg)
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
@@ -176,7 +187,7 @@ type info = {
   spec_inhibited : bool;
   vliws : int;
   entries : int;
-  status : [ `Ok | `Corrupt of string ];
+  status : [ `Ok | `Corrupt of string | `Skipped of string ];
 }
 
 let entry_files dir =
@@ -184,6 +195,18 @@ let entry_files dir =
   | files ->
     Array.to_list files
     |> List.filter (fun f -> Filename.check_suffix f ".dtc")
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
+(** Files in [dir] that are not cache entries or temp files — left
+    alone by every store operation, reported so tooling can say why. *)
+let stray_files dir =
+  match Sys.readdir dir with
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f ->
+           (not (Filename.check_suffix f ".dtc"))
+           && not (Filename.check_suffix f ".tmp"))
     |> List.sort compare
   | exception Sys_error _ -> []
 
@@ -198,8 +221,13 @@ let list_dir dir =
           base = 0; psize = 0; spec_inhibited = false; vliws = 0; entries = 0;
           status }
       in
-      match read_file (Filename.concat dir f) with
-      | exception Sys_error msg -> blank (`Corrupt ("io: " ^ msg))
+      match
+        let path = Filename.concat dir f in
+        if try Sys.is_directory path with Sys_error _ -> false then
+          raise (Sys_error "is a directory")
+        else read_file path
+      with
+      | exception Sys_error msg -> blank (`Skipped msg)
       | s -> (
         match parse_entry s with
         | h ->
@@ -212,20 +240,27 @@ let list_dir dir =
           { (blank (`Corrupt msg)) with file_bytes = String.length s }))
     (entry_files dir)
 
-(** Remove every entry and stray temp file in [dir]; returns the number
-    of files removed. *)
+(** Remove every entry and stray temp file in [dir]; returns
+    [(removed, skipped)] — skipped counts entry-named paths that could
+    not be removed (directories, permissions) plus files that are not
+    the store's to delete.  Never raises. *)
 let clear_dir dir =
-  let files =
-    match Sys.readdir dir with
-    | files ->
-      Array.to_list files
-      |> List.filter (fun f ->
-             Filename.check_suffix f ".dtc" || Filename.check_suffix f ".tmp")
+  let all = match Sys.readdir dir with
+    | files -> Array.to_list files
     | exception Sys_error _ -> []
   in
-  List.fold_left
-    (fun n f ->
-      match Sys.remove (Filename.concat dir f) with
-      | () -> n + 1
-      | exception Sys_error _ -> n)
-    0 files
+  let ours, strays =
+    List.partition
+      (fun f ->
+        Filename.check_suffix f ".dtc" || Filename.check_suffix f ".tmp")
+      all
+  in
+  let removed, unremovable =
+    List.fold_left
+      (fun (n, k) f ->
+        match Sys.remove (Filename.concat dir f) with
+        | () -> (n + 1, k)
+        | exception Sys_error _ -> (n, k + 1))
+      (0, 0) ours
+  in
+  (removed, unremovable + List.length strays)

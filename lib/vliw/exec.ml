@@ -40,6 +40,14 @@ type outcome =
 
 exception Roll of reason
 
+exception Error of string
+(** A malformed VLIW: an open tip reached at runtime, an out-of-range
+    register or condition-field location, or any other structural
+    corruption of the tree.  Raised before any write is applied, so the
+    architected state is exactly as it was at VLIW entry — the monitor's
+    degradation ladder can quarantine the page and re-execute the same
+    instructions by interpretation. *)
+
 (* Pending writes, applied only if the whole VLIW succeeds. *)
 type write =
   | Wgpr of Op.loc * int
@@ -67,7 +75,7 @@ let rec select (st : Vstate.t) (n : Tree.node) acc =
      path newest-first so the final reversal restores program order *)
   let acc = n.ops @ acc in
   match n.kind with
-  | Tree.Open -> invalid_arg "Exec: open tip reached at runtime"
+  | Tree.Open -> raise (Error "open tip reached at runtime")
   | Exit e -> (List.rev acc, e)
   | Branch { test; taken; fall } ->
     let field, tag = Vstate.get_cr_tagged st (test.bit / 4) in
@@ -349,7 +357,12 @@ let apply (st : Vstate.t) (mem : Mem.t) = function
 (** Execute [vliw] against [st]/[mem].  [alias_check] receives this
     VLIW's accesses (in program order of their sequence numbers is NOT
     guaranteed; callers filter by [seq]) and must return [false] to
-    force an alias rollback.  On success all writes are applied. *)
+    force an alias rollback.  On success all writes are applied.
+
+    [Invalid_argument]/[Failure] escapes from the select/evaluate phase
+    (a corrupted tree indexing a location that does not exist) surface
+    as {!Error}: they happen before any write is applied, so raising is
+    state-preserving, exactly like a rollback. *)
 let run (st : Vstate.t) (mem : Mem.t) ?(alias_check = fun (_ : access list) -> true)
     (vliw : Tree.t) : outcome =
   match
@@ -363,9 +376,12 @@ let run (st : Vstate.t) (mem : Mem.t) ?(alias_check = fun (_ : access list) -> t
         match acc with Some a -> accesses := a :: !accesses | None -> ())
       ops;
     if not (alias_check !accesses) then raise (Roll Ralias);
-    (* apply in program order: [writes] was accumulated reversed *)
-    List.iter (fun ws -> List.iter (apply st mem) ws) (List.rev !writes);
-    Done { exit; accesses = !accesses; nops = !nops }
+    (!writes, !accesses, !nops, exit)
   with
-  | outcome -> outcome
   | exception Roll r -> Rollback r
+  | exception Invalid_argument msg -> raise (Error ("Invalid_argument: " ^ msg))
+  | exception Failure msg -> raise (Error ("Failure: " ^ msg))
+  | writes, accesses, nops, exit ->
+    (* apply in program order: [writes] was accumulated reversed *)
+    List.iter (fun ws -> List.iter (apply st mem) ws) (List.rev writes);
+    Done { exit; accesses; nops }

@@ -53,6 +53,13 @@ type stats = {
   mutable tcache_corrupt : int;   (** entries rejected (truncated, bad version…) *)
   mutable tcache_persists : int;  (** fresh translations written out *)
   mutable tcache_evicts : int;    (** entries dropped after invalidation *)
+  mutable tcache_skipped : int;   (** unreadable / non-entry paths ignored *)
+  (* --- degradation ladder (failure containment) --- *)
+  mutable translator_faults : int;  (** exceptions escaping translation *)
+  mutable exec_faults : int;     (** malformed VLIWs caught at run time *)
+  mutable quarantines : int;     (** pages demoted to interpretation *)
+  mutable degrade_retries : int; (** re-translations after backoff expiry *)
+  mutable interp_pinned : int;   (** pages permanently pinned to interp *)
 }
 
 let fresh_stats () =
@@ -62,7 +69,9 @@ let fresh_stats () =
     syscalls = 0; external_interrupts = 0; adaptive_retranslations = 0;
     code_invalidations = 0; stall_cycles = 0; itlb_misses = 0;
     tcache_hits = 0; tcache_misses = 0; tcache_corrupt = 0;
-    tcache_persists = 0; tcache_evicts = 0 }
+    tcache_persists = 0; tcache_evicts = 0; tcache_skipped = 0;
+    translator_faults = 0; exec_faults = 0; quarantines = 0;
+    degrade_retries = 0; interp_pinned = 0 }
 
 (* --- Instrumentation interface -------------------------------------
 
@@ -118,6 +127,27 @@ type event =
   | Tcache_corrupt of { cycle : int; page : int; reason : string }
   | Tcache_persist of { cycle : int; page : int; bytes : int }
   | Tcache_evict of { cycle : int; page : int }
+  | Tcache_skipped of { cycle : int; page : int; reason : string }
+  | Translator_fault of { cycle : int; page : int; entry : int; reason : string }
+  | Exec_fault of { cycle : int; page : int; pc : int; reason : string }
+  | Quarantine of { cycle : int; page : int; failures : int; until : int }
+      (** page demoted to interpretation until cycle [until] *)
+  | Degrade_retry of { cycle : int; page : int }
+      (** backoff expired; translation is being attempted again *)
+  | Interp_pinned of { cycle : int; page : int }
+      (** failure budget exhausted; page interprets forever *)
+
+(* Per-page failure tracking for the degradation ladder.  A page climbs
+   down the ladder one rung per failure: quarantine (translation
+   dropped, interpretation-only until [backoff_until]), retry with the
+   backoff doubling each time, and finally — after [max_page_failures]
+   strikes — a permanent pin to interpretation.  The interpreter is the
+   always-correct path, so every rung preserves architected state. *)
+type health = {
+  mutable failures : int;
+  mutable backoff_until : int;   (** VMM cycle before which we interpret *)
+  mutable pinned_interp : bool;  (** never try translation again *)
+}
 
 type t = {
   tr : Translate.t;
@@ -164,6 +194,28 @@ type t = {
   mutable resume_pc : int;
       (** precise base address to resume from after [run] returns [None]
           on exhausted fuel — the debugger's single-stepping hook *)
+  (* --- degradation ladder --- *)
+  page_health : (int, health) Hashtbl.t;
+  mutable max_page_failures : int;  (** strikes before the permanent pin *)
+  mutable backoff_base : int;       (** first quarantine length, in cycles *)
+  (* --- fault-injection hooks (lib/fault attaches here; every one
+     defaults to [None] and costs a single test when unused) --- *)
+  mutable translate_hook : (page:int -> entry:int -> unit) option;
+      (** called before fresh translation work; may raise to simulate a
+          translator crash or timeout *)
+  mutable install_hook : (Translate.xpage -> unit) option;
+      (** called after a page is translated, extended or installed from
+          the persistent cache (digest recording, bit-flip injection) *)
+  mutable page_check : (Translate.xpage -> string option) option;
+      (** integrity check on page entry; [Some reason] quarantines *)
+  mutable boundary_hook : (unit -> bool) option;
+      (** polled at VLIW boundaries while MSR.EE is set; [true] delivers
+          a (spurious) external interrupt there *)
+  mutable prefault_hook : (unit -> bool) option;
+      (** polled before each VLIW; [true] forces a fault-style rollback
+          and an interpretation episode (page-fault storms) *)
+  mutable tcache_persist_hook : (string -> unit) option;
+      (** called with the entry's path after each persist (poisoning) *)
 }
 
 (** The VMM's clock: VLIW cycles plus interpreted instructions. *)
@@ -201,7 +253,8 @@ let tcache_probe t addr =
       emit t (fun () ->
           Tcache_hit
             { cycle = now t; page = base; vliws = Vec.length page.vliws;
-              bytes = page.code_bytes; seconds })
+              bytes = page.code_bytes; seconds });
+      (match t.install_hook with Some f -> f page | None -> ())
     | `Hit _ ->
       t.stats.tcache_corrupt <- t.stats.tcache_corrupt + 1;
       emit t (fun () ->
@@ -212,7 +265,10 @@ let tcache_probe t addr =
       emit t (fun () -> Tcache_miss { cycle = now t; page = base })
     | `Corrupt reason ->
       t.stats.tcache_corrupt <- t.stats.tcache_corrupt + 1;
-      emit t (fun () -> Tcache_corrupt { cycle = now t; page = base; reason }))
+      emit t (fun () -> Tcache_corrupt { cycle = now t; page = base; reason })
+    | `Skipped reason ->
+      t.stats.tcache_skipped <- t.stats.tcache_skipped + 1;
+      emit t (fun () -> Tcache_skipped { cycle = now t; page = base; reason }))
 
 (* Write [page]'s translation out (also after an extension of an
    already-persisted page: same key, superset entry, plain overwrite). *)
@@ -226,7 +282,10 @@ let tcache_persist t (page : Translate.xpage) =
     | bytes ->
       t.stats.tcache_persists <- t.stats.tcache_persists + 1;
       emit t (fun () ->
-          Tcache_persist { cycle = now t; page = page.base; bytes })
+          Tcache_persist { cycle = now t; page = page.base; bytes });
+      (match t.tcache_persist_hook with
+      | Some f -> f (Tcache.Store.path_of store key)
+      | None -> ())
     | exception Sys_error _ -> () (* unwritable dir: cache is best-effort *))
 
 (* Drop the entry for a page whose translation just became invalid
@@ -265,7 +324,12 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
       itlb = Memsys.Tlb.create ~entries:64 ~assoc:4 (); itlb_miss_cost = 10;
       code_budget = None; pinned = Hashtbl.create 4; lru = Hashtbl.create 32;
       lru_tick = 0; castouts = 0; max_episode = 64; event_hook = None;
-      resume_pc = -1 }
+      resume_pc = -1;
+      page_health = Hashtbl.create 8; max_page_failures = 5;
+      backoff_base = 256;
+      translate_hook = None; install_hook = None; page_check = None;
+      boundary_hook = None; prefault_hook = None;
+      tcache_persist_hook = None }
   in
   (* feed run-time register values to the translator's guarded inlining
      of indirect branches (Chapter 6) *)
@@ -360,6 +424,62 @@ exception Out_of_fuel
 exception Deliver of int
 (** internal: unwind to the driver and resume at an interrupt vector *)
 
+(* --- Degradation ladder --------------------------------------------
+
+   Any failure during translation or translated execution must not take
+   the run down: the interpreter is the always-correct path, so the
+   monitor demotes the failing page to it.  One failure = one rung:
+
+     1. quarantine — the translation is dropped and the page executes
+        by interpretation episodes for an exponentially-growing number
+        of cycles;
+     2. retry — once the backoff expires, translation is attempted
+        again (a transient fault heals here);
+     3. pin — after [max_page_failures] strikes the page interprets for
+        the rest of the run.
+
+   Architected state is preserved at every rung: translator faults
+   happen before any translated code runs, and execution faults
+   ({!Vliw.Exec.Error}) are raised before any VLIW write is applied. *)
+
+let health t base =
+  match Hashtbl.find_opt t.page_health base with
+  | Some h -> h
+  | None ->
+    let h = { failures = 0; backoff_until = 0; pinned_interp = false } in
+    Hashtbl.add t.page_health base h;
+    h
+
+(** One more strike against [base]: drop whatever translation exists
+    and either extend the quarantine or pin the page for good. *)
+let record_failure t base =
+  Translate.invalidate t.tr base;
+  let h = health t base in
+  h.failures <- h.failures + 1;
+  t.stats.quarantines <- t.stats.quarantines + 1;
+  if h.failures >= t.max_page_failures then begin
+    h.backoff_until <- max_int;
+    if not h.pinned_interp then begin
+      h.pinned_interp <- true;
+      t.stats.interp_pinned <- t.stats.interp_pinned + 1;
+      emit t (fun () -> Interp_pinned { cycle = now t; page = base })
+    end
+  end
+  else h.backoff_until <- now t + (t.backoff_base lsl (h.failures - 1));
+  emit t (fun () ->
+      Quarantine
+        { cycle = now t; page = base; failures = h.failures;
+          until = h.backoff_until })
+
+(** Which rung is [base] on right now? *)
+let page_mode t base =
+  match Hashtbl.find_opt t.page_health base with
+  | None -> `Translate
+  | Some h ->
+    if h.pinned_interp || now t < h.backoff_until then `Interp
+    else if h.failures > 0 then `Retry
+    else `Translate
+
 (** Run translated execution starting at base address [entry] until the
     program halts; returns the exit code. *)
 let run t ~entry ~fuel =
@@ -375,47 +495,83 @@ let run t ~entry ~fuel =
       stats.itlb_misses <- stats.itlb_misses + 1;
       stats.stall_cycles <- stats.stall_cycles + t.itlb_miss_cost
     end;
-    (* translation missing: the persistent cache is probed first, and
-       only for pages with no in-memory translation at all — a page
-       that merely lacks this entry point gets extended in place *)
-    if
-      t.tcache <> None
-      && (not (Translate.has_entry t.tr addr))
-      && not (Translate.translated t.tr addr)
-    then tcache_probe t addr;
-    let page, id =
-      if Translate.has_entry t.tr addr then Translate.entry t.tr addr
-      else begin
-        (* fresh translation work: bracket it with begin/end events
-           carrying the translator-total deltas for this unit, then
-           persist the (new or extended) page *)
-        let tot = t.tr.totals in
-        let base = Translate.page_base t.tr addr in
-        let i0 = tot.insns and v0 = tot.vliws_made in
-        let b0 = tot.code_bytes and g0 = tot.groups in
+    let base = Translate.page_base t.tr addr in
+    match page_mode t base with
+    | `Interp ->
+      (* quarantined or pinned: the always-correct path *)
+      recover_at addr
+    | (`Translate | `Retry) as mode ->
+      if mode = `Retry then begin
+        stats.degrade_retries <- stats.degrade_retries + 1;
+        emit t (fun () -> Degrade_retry { cycle = now t; page = base })
+      end;
+      (* translation missing: the persistent cache is probed first, and
+         only for pages with no in-memory translation at all — a page
+         that merely lacks this entry point gets extended in place *)
+      if
+        t.tcache <> None
+        && (not (Translate.has_entry t.tr addr))
+        && not (Translate.translated t.tr addr)
+      then tcache_probe t addr;
+      (match
+         if Translate.has_entry t.tr addr then Translate.entry t.tr addr
+         else begin
+           (* fresh translation work: bracket it with begin/end events
+              carrying the translator-total deltas for this unit, then
+              persist the (new or extended) page *)
+           let tot = t.tr.totals in
+           let i0 = tot.insns and v0 = tot.vliws_made in
+           let b0 = tot.code_bytes and g0 = tot.groups in
+           (match t.translate_hook with
+           | Some f -> f ~page:base ~entry:addr
+           | None -> ());
+           emit t (fun () ->
+               Translate_begin { cycle = now t; page = base; entry = addr });
+           let res = Translate.entry t.tr addr in
+           emit t (fun () ->
+               Translate_end
+                 { cycle = now t; page = base; entry = addr;
+                   insns = tot.insns - i0; vliws = tot.vliws_made - v0;
+                   bytes = tot.code_bytes - b0; groups = tot.groups - g0 });
+           tcache_persist t (fst res);
+           (match t.install_hook with Some f -> f (fst res) | None -> ());
+           res
+         end
+       with
+      | exception ((Mem.Halted _ | Out_of_fuel | Deliver _) as e) -> raise e
+      | exception exn ->
+        (* the translator (or an injected fault) blew up: no translated
+           state exists for this page, so interpretation covers it *)
+        stats.translator_faults <- stats.translator_faults + 1;
+        let reason = Printexc.to_string exn in
         emit t (fun () ->
-            Translate_begin { cycle = now t; page = base; entry = addr });
-        let res = Translate.entry t.tr addr in
+            Translator_fault { cycle = now t; page = base; entry = addr; reason });
+        record_failure t base;
+        recover_at addr
+      | page, id -> (
+        t.lru_tick <- t.lru_tick + 1;
+        Hashtbl.replace t.lru page.base t.lru_tick;
+        (match t.code_budget with
+        | Some budget -> evict_to budget page.base
+        | None -> ());
+        t.current_page <- page.base;
+        t.invalidated <- false;
         emit t (fun () ->
-            Translate_end
-              { cycle = now t; page = base; entry = addr;
-                insns = tot.insns - i0; vliws = tot.vliws_made - v0;
-                bytes = tot.code_bytes - b0; groups = tot.groups - g0 });
-        tcache_persist t (fst res);
-        res
-      end
-    in
-    t.lru_tick <- t.lru_tick + 1;
-    Hashtbl.replace t.lru page.base t.lru_tick;
-    (match t.code_budget with
-    | Some budget -> evict_to budget page.base
-    | None -> ());
-    t.current_page <- page.base;
-    t.invalidated <- false;
-    emit t (fun () ->
-        Page_enter
-          { cycle = now t; page = page.base; vliws_so_far = stats.vliws });
-    exec_at page id
+            Page_enter
+              { cycle = now t; page = page.base; vliws_so_far = stats.vliws });
+        match
+          match t.page_check with Some f -> f page | None -> None
+        with
+        | Some reason ->
+          (* the installed translation no longer matches its recorded
+             digest: treat like a runtime execution fault *)
+          stats.exec_faults <- stats.exec_faults + 1;
+          emit t (fun () ->
+              Exec_fault { cycle = now t; page = page.base; pc = addr; reason });
+          tcache_evict t page.base;
+          record_failure t page.base;
+          recover_at addr
+        | None -> exec_at page id))
   and evict_to budget current =
     (* cast out least-recently-entered translations until within budget *)
     let live () =
@@ -446,7 +602,15 @@ let run t ~entry ~fuel =
       end
     done
   and recover_at addr =
+    (* interpretation episodes burn fuel too, or a fully-pinned run
+       could never exhaust its budget *)
+    let i0 = stats.interp_insns in
     let next = interpret_episode t (addr land lnot 1) in
+    fuel_left := !fuel_left - (stats.interp_insns - i0);
+    if !fuel_left <= 0 then begin
+      t.resume_pc <- next;
+      raise Out_of_fuel
+    end;
     goto_base next
   and exec_at (page : Translate.xpage) id =
     decr fuel_left;
@@ -454,6 +618,28 @@ let run t ~entry ~fuel =
       t.resume_pc <- (Vec.get page.vliws id).precise_entry;
       raise Out_of_fuel
     end;
+    if (match t.prefault_hook with Some f -> f () | None -> false) then begin
+      (* injected page-fault storm: the VLIW appears not to have
+         executed, exactly like a real access fault *)
+      let vliw = Vec.get page.vliws id in
+      stats.rollbacks <- stats.rollbacks + 1;
+      emit t (fun () ->
+          Rolled_back { cycle = now t; pc = vliw.precise_entry; kind = RbFault });
+      recover_at vliw.precise_entry
+    end
+    else begin
+    (match t.boundary_hook with
+    | Some f when t.st.m.msr land Machine.Msr.ee <> 0 ->
+      if f () then begin
+        (* spurious external interrupt: VLIW boundaries are precise *)
+        stats.external_interrupts <- stats.external_interrupts + 1;
+        emit t (fun () -> External_interrupt { cycle = now t });
+        let vliw = Vec.get page.vliws id in
+        Interp.interrupt t.st.m ~return_pc:vliw.precise_entry
+          Interp.Vector.external_;
+        raise (Deliver t.st.m.pc)
+      end
+    | _ -> ());
     (match t.timer_interval with
     | Some n ->
       t.timer_count <- t.timer_count + 1;
@@ -475,6 +661,18 @@ let run t ~entry ~fuel =
     | None -> ());
     stats.vliws <- stats.vliws + 1;
     match Exec.run t.st t.mem ~alias_check:(alias_check t) vliw with
+    | exception Exec.Error reason ->
+      (* malformed VLIW (corruption, translator bug): no write was
+         applied, so the precise entry state is intact — quarantine the
+         page and redo these instructions by interpretation *)
+      stats.exec_faults <- stats.exec_faults + 1;
+      emit t (fun () ->
+          Exec_fault
+            { cycle = now t; page = t.current_page; pc = vliw.precise_entry;
+              reason });
+      tcache_evict t t.current_page;
+      record_failure t t.current_page;
+      recover_at vliw.precise_entry
     | Rollback reason ->
       stats.rollbacks <- stats.rollbacks + 1;
       emit t (fun () ->
@@ -582,8 +780,16 @@ let run t ~entry ~fuel =
           (* interpret briefly after rfi, as Section 3.4 prescribes *)
           recover_at (m.srr0 land lnot 3)
         | T.Trap (Tillegal a) ->
-          Interp.interrupt t.st.m ~return_pc:a Interp.Vector.program;
-          goto_base t.st.m.pc)
+          (* The translator could not crack the word at [a] — but that
+             conflates two architecturally distinct cases: an illegal
+             word (program interrupt) and an unfetchable pc (ISI).
+             Hand the pc to the interpreter, whose own fetch/decode
+             delivers the correct vector.  Found by the differential
+             fuzzer: a branch to an unmapped absolute address raised a
+             program interrupt here where the base architecture takes
+             an instruction-storage interrupt. *)
+          recover_at a)
+    end
   in
   let rec drive addr =
     match goto_base addr with

@@ -188,6 +188,21 @@ let prop_encode_32bit =
       let w = Encode.encode i in
       w >= 0 && w <= 0xFFFF_FFFF)
 
+(* The decoder is the fuzzer's front line: any word, including ones
+   that are not 32-bit values at all, must yield [Some i] or [None] —
+   never an exception.  (Field extraction used to let [Invalid_argument]
+   escape on pathological inputs.) *)
+let prop_decode_total =
+  let extremes =
+    [ -1; min_int; max_int; 0; 0xFFFF_FFFF; 0x1_0000_0000; 1 lsl 62 ]
+  in
+  QCheck.Test.make ~name:"decode never raises" ~count:2000
+    QCheck.(
+      frequency
+        [ (1, oneofl extremes); (8, map (fun w -> w land 0xFFFF_FFFF) int) ])
+    (fun w ->
+      match Decode.decode w with Some _ | None -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Interpreter semantics                                               *)
 
@@ -430,7 +445,10 @@ let test_reuse_counting () =
   Alcotest.(check bool) "static small" true (Interp.static_touched t < 20)
 
 let () =
-  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_encode_32bit ] in
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_roundtrip; prop_encode_32bit; prop_decode_total ]
+  in
   Alcotest.run "ppc"
     [ ("roundtrip", [ Alcotest.test_case "fixed vectors" `Quick test_roundtrip_fixed ] @ qsuite);
       ( "interp",

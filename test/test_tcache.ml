@@ -272,6 +272,7 @@ let test_store_detects_corruption () =
     | `Corrupt _ -> ()
     | `Hit _ -> Alcotest.failf "%s went undetected" what
     | `Miss -> Alcotest.failf "%s reported as miss" what
+    | `Skipped m -> Alcotest.failf "%s skipped instead of corrupt: %s" what m
   in
   (* truncation, at several depths *)
   write (String.sub original 0 (String.length original / 2));
@@ -300,6 +301,7 @@ let test_store_detects_corruption () =
   | [ info ] -> (
     match info.status with
     | `Corrupt _ -> ()
+    | `Skipped m -> Alcotest.failf "list_dir skipped the corruption: %s" m
     | `Ok -> Alcotest.fail "list_dir missed the corruption")
   | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l));
   ignore (Store.clear_dir dir)
@@ -432,7 +434,8 @@ let test_selfmod_evicts () =
   (match Store.probe store ~key:stale_key with
   | `Miss -> ()
   | `Hit _ -> Alcotest.fail "stale pre-patch entry survived eviction"
-  | `Corrupt m -> Alcotest.failf "stale entry corrupt instead of gone: %s" m);
+  | `Corrupt m -> Alcotest.failf "stale entry corrupt instead of gone: %s" m
+  | `Skipped m -> Alcotest.failf "stale entry skipped instead of gone: %s" m);
   (* warm run: correct result, hits for the stable pages, and the same
      eviction dance for the JIT page's two generations *)
   let code', vmm' = run_selfmod ~tcache_dir:dir in
@@ -465,6 +468,70 @@ let test_spec_inhibited_flag_roundtrip () =
   | _ -> Alcotest.fail "expected hit");
   ignore (Store.clear_dir dir)
 
+(* --- skip semantics: the store is not the only tenant --------------
+
+   Anything in the cache directory that is not a readable entry file —
+   a directory wearing the [.dtc] suffix, a stray README — is skipped
+   and reported, never deleted, and never an exception. *)
+
+let test_store_skips_junk () =
+  let dir = fresh_dir () in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  let mem, page = translated_page "wc" in
+  let bytes = Ppc.Mem.read_string mem page.base page.psize in
+  let key = Store.key store ~base:page.base bytes in
+  ignore (Store.persist store ~key page ~spec_inhibited:false);
+  Store.mkdir_p (Filename.concat dir "imposter.dtc");
+  Out_channel.with_open_bin (Filename.concat dir "README") (fun oc ->
+      Out_channel.output_string oc "not a cache entry\n");
+  (* probing the directory skips with a reason instead of raising *)
+  (match Store.probe store ~key:"imposter" with
+  | `Skipped _ -> ()
+  | _ -> Alcotest.fail "expected skip for a directory entry");
+  (* the real entry is still served *)
+  (match Store.probe store ~key with
+  | `Hit _ -> ()
+  | _ -> Alcotest.fail "expected hit despite junk in the directory");
+  (* listing marks the directory skipped; strays are reported apart *)
+  let skipped =
+    List.filter
+      (fun (i : Store.info) ->
+        match i.status with `Skipped _ -> true | _ -> false)
+      (Store.list_dir dir)
+  in
+  Alcotest.(check int) "one skipped entry" 1 (List.length skipped);
+  Alcotest.(check (list string)) "strays reported" [ "README" ]
+    (Store.stray_files dir);
+  (* clear removes only what is the store's and removable *)
+  let removed, skipped_n = Store.clear_dir dir in
+  Alcotest.(check int) "removed the real entry" 1 removed;
+  Alcotest.(check int) "skipped directory + stray" 2 skipped_n;
+  Alcotest.(check bool) "stray untouched" true
+    (Sys.file_exists (Filename.concat dir "README"));
+  Sys.remove (Filename.concat dir "README");
+  Unix.rmdir (Filename.concat dir "imposter.dtc")
+
+let test_warm_counts_skipped () =
+  let dir = fresh_dir () in
+  let w = Workloads.Registry.by_name "wc" in
+  let cold = Vmm.Run.run ~tcache_dir:dir w in
+  (* replace one entry with a same-named directory: the warm start must
+     skip it, count it, retranslate and still verify (the failed
+     re-persist over the directory is silently best-effort) *)
+  (match Store.list_dir dir with
+  | info :: _ ->
+    let path = Filename.concat dir (info.key ^ ".dtc") in
+    Sys.remove path;
+    Store.mkdir_p path
+  | [] -> Alcotest.fail "cold run persisted nothing");
+  let warm = Vmm.Run.run ~tcache_dir:dir w in
+  Alcotest.(check bool) "skip counted" true (warm.stats.tcache_skipped >= 1);
+  Alcotest.(check bool) "run still completed correctly" true
+    (warm.exit_code = cold.exit_code);
+  Alcotest.(check bool) "skipped page retranslated" true
+    (warm.pages_translated >= 1);
+  ignore (Store.clear_dir dir)
+
 let () =
   Alcotest.run "tcache"
     [ ( "codec",
@@ -478,9 +545,11 @@ let () =
           Alcotest.test_case "corruption" `Quick
             test_store_detects_corruption;
           Alcotest.test_case "spec flag" `Quick
-            test_spec_inhibited_flag_roundtrip ] );
+            test_spec_inhibited_flag_roundtrip;
+          Alcotest.test_case "skips junk" `Quick test_store_skips_junk ] );
       ( "warm start",
         [ Alcotest.test_case "registry" `Slow test_warm_start_registry;
           Alcotest.test_case "corrupt entry" `Quick
             test_warm_survives_corrupt_entry;
+          Alcotest.test_case "skipped entry" `Quick test_warm_counts_skipped;
           Alcotest.test_case "self-modifying" `Quick test_selfmod_evicts ] ) ]
