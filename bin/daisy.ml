@@ -182,8 +182,17 @@ let run_cmd =
                    (under the same parameters) are installed from disk \
                    instead of being retranslated.")
   in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("tree", Vmm.Monitor.Tree); ("compiled", Vmm.Monitor.Compiled) ])
+             Vmm.Monitor.Compiled
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"VLIW execution engine: $(b,compiled) (the default; pages \
+                   staged into closures with direct-linked dispatch) or \
+                   $(b,tree) (the interpretive tree walker).")
+  in
   let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
-  let run w params finite trace_out trace_format trace_cap metrics_out
+  let run w params engine finite trace_out trace_format trace_cap metrics_out
       tcache_dir faults =
     if trace_cap <= 0 then begin
       Printf.eprintf "daisy: --trace-cap must be positive\n";
@@ -218,7 +227,7 @@ let run_cmd =
       | _ -> []
     in
     let r =
-      try Vmm.Run.run ~params ?hierarchy ?instrument ?tcache_dir ~ignore_mem w
+      try Vmm.Run.run ~params ~engine ?hierarchy ?instrument ?tcache_dir ~ignore_mem w
       with Vmm.Run.Mismatch msg ->
         (* differential verification against the reference interpreter
            failed: a correctness bug, never a measurement detail *)
@@ -281,8 +290,8 @@ let run_cmd =
     end
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ w $ params_term $ finite $ trace_out $ trace_format
-          $ trace_cap $ metrics_out $ tcache_dir $ fault_term)
+    Term.(const run $ w $ params_term $ engine $ finite $ trace_out
+          $ trace_format $ trace_cap $ metrics_out $ tcache_dir $ fault_term)
 
 let profile_cmd =
   let doc = "Profile a workload's per-page hotness under DAISY." in

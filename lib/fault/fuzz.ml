@@ -236,23 +236,44 @@ let wl_of ~seed ~index ~fuel slots =
 (* ------------------------------------------------------------------ *)
 (* Differential run                                                    *)
 
-(** Run one page through reference interpreter and VMM; [faults], when
-    given, attaches every configured injector class (with a per-page
-    derived seed, so page verdicts are independent of each other). *)
+(** Run one page through reference interpreter and VMM — once per
+    execution engine, so the tree walker and the staged closure engine
+    are both held to the reference semantics on every page; [faults],
+    when given, attaches every configured injector class (with a
+    per-page derived seed, so page verdicts are independent of each
+    other).  Each engine run gets its own freshly-seeded injector:
+    injectors are stateful RNGs, and sharing one would entangle the two
+    runs' fault schedules. *)
 let run_slots ?faults ~seed ~index ~fuel slots =
   let w = wl_of ~seed ~index ~fuel slots in
-  let ignore_mem, instrument =
-    match faults with
-    | None -> ([], None)
-    | Some (cfg : Inject.config) ->
-      let inj = Inject.create { cfg with seed = cfg.seed lxor (index * 2654435761) } in
-      ( (if cfg.interrupt_rate > 0. then [ Wl.interrupt_count_addr ] else []),
-        Some (Inject.attach inj) )
+  let run_engine (engine : Vmm.Monitor.engine) =
+    let label =
+      match engine with Vmm.Monitor.Tree -> "tree" | Compiled -> "compiled"
+    in
+    let ignore_mem, instrument =
+      match faults with
+      | None -> ([], None)
+      | Some (cfg : Inject.config) ->
+        let inj =
+          Inject.create { cfg with seed = cfg.seed lxor (index * 2654435761) }
+        in
+        ( (if cfg.interrupt_rate > 0. then [ Wl.interrupt_count_addr ] else []),
+          Some (Inject.attach inj) )
+    in
+    match Vmm.Run.run ~engine ?instrument ~ignore_mem w with
+    | r -> if r.exit_code = None then Hang else Match
+    | exception Vmm.Run.Mismatch m -> Mismatch (label ^ ": " ^ m)
+    | exception e ->
+      Mismatch (label ^ ": crash: " ^ Printexc.to_string e)
   in
-  match Vmm.Run.run ?instrument ~ignore_mem w with
-  | r -> if r.exit_code = None then Hang else Match
-  | exception Vmm.Run.Mismatch m -> Mismatch m
-  | exception e -> Mismatch ("crash: " ^ Printexc.to_string e)
+  match run_engine Vmm.Monitor.Tree with
+  | Mismatch _ as v -> v
+  | tree_v -> (
+    match run_engine Vmm.Monitor.Compiled with
+    | Mismatch _ as v -> v
+    | compiled_v ->
+      (* either engine hanging means no verification point for the page *)
+      if tree_v = Hang || compiled_v = Hang then Hang else Match)
 
 (* ------------------------------------------------------------------ *)
 (* Shrinking                                                           *)

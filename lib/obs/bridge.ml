@@ -19,6 +19,8 @@ type t = {
       (** VLIWs created per translation unit *)
   h_tc_load : Metrics.Histogram.t option;
       (** milliseconds to load + decode one persistent-cache entry *)
+  h_compile : Metrics.Histogram.t option;
+      (** milliseconds to stage one page into closures *)
 }
 
 let create ?tracer ?metrics ?hotness () =
@@ -37,7 +39,9 @@ let create ?tracer ?metrics ?hotness () =
       h "translate_unit_vliws"
         [ 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. ];
     h_tc_load =
-      h "tcache_load_ms" [ 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10. ] }
+      h "tcache_load_ms" [ 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10. ];
+    h_compile =
+      h "vliw_compile_ms" [ 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10. ] }
 
 let cross_kind_string : Monitor.cross_kind -> string = function
   | Xdirect -> "direct"
@@ -149,6 +153,13 @@ let on_event b (ev : Monitor.event) =
   | Interp_pinned { cycle; page } ->
     trace b ~ts:cycle ~name:"interp_pinned" ~ph:Trace.I
       [ ("page", Json.Int page) ]
+  | Vliw_compiled { cycle; page; vliws; seconds } ->
+    (match b.h_compile with
+    | Some h -> Metrics.Histogram.observe h (seconds *. 1000.)
+    | None -> ());
+    trace b ~ts:cycle ~name:"vliw_compiled" ~ph:Trace.I
+      [ ("page", Json.Int page); ("vliws", Json.Int vliws);
+        ("ms", Json.Float (seconds *. 1000.)) ]
 
 (** Subscribe this bridge to a VMM's event stream. *)
 let attach b (vmm : Monitor.t) = vmm.event_hook <- Some (on_event b)
@@ -192,6 +203,9 @@ let record_result m (r : Vmm.Run.result) =
   c "quarantines" s.quarantines;
   c "degrade_retries" s.degrade_retries;
   c "interp_pinned" s.interp_pinned;
+  c "compiled_pages" s.compiled_pages;
+  c "direct_link_hits" s.direct_link_hits;
+  c "spec_log_hwm" s.spec_log_hwm;
   c "cycles_infinite" r.cycles_infinite;
   c "cycles_finite" r.cycles_finite;
   c "pages_translated" r.pages_translated;

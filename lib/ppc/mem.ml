@@ -48,27 +48,32 @@ let in_bounds t addr n = addr >= 0 && addr + n <= t.size
 
 let width_bytes : Insn.width -> int = function Byte -> 1 | Half -> 2 | Word -> 4
 
+(* One decode rule for all widths: MMIO registers are word-sized, so a
+   load of any width whose enclosing word is the sequence register ticks
+   it once and returns the new value masked to the load's width; every
+   other MMIO load reads as 0.  (The three loaders used to disagree —
+   [load8] accepted any byte of the seq word, [load16] always returned
+   0, [load32] required exact equality — so a halfword read of the seq
+   register silently dropped the side effect.) *)
+let mmio_load t addr mask =
+  if addr land lnot 3 = mmio_seq then (
+    t.seq <- t.seq + 1;
+    t.seq land mask)
+  else 0
+
 (** [load8 t addr] .. [load32 t addr]: big-endian zero-extended loads. *)
 let load8 t addr =
-  if is_mmio addr then (
-    if addr land lnot 3 = mmio_seq then (
-      t.seq <- t.seq + 1;
-      t.seq land 0xFF)
-    else 0)
+  if is_mmio addr then mmio_load t addr 0xFF
   else if in_bounds t addr 1 then Char.code (Bytes.get t.bytes addr)
   else raise (Data_fault { addr; write = false })
 
 let load16 t addr =
-  if is_mmio addr then 0
+  if is_mmio addr then mmio_load t addr 0xFFFF
   else if in_bounds t addr 2 then Bytes.get_uint16_be t.bytes addr
   else raise (Data_fault { addr; write = false })
 
 let load32 t addr =
-  if is_mmio addr then (
-    if addr = mmio_seq then (
-      t.seq <- t.seq + 1;
-      t.seq land 0xFFFF_FFFF)
-    else 0)
+  if is_mmio addr then mmio_load t addr 0xFFFF_FFFF
   else if in_bounds t addr 4 then
     Int32.to_int (Bytes.get_int32_be t.bytes addr) land 0xFFFF_FFFF
   else raise (Data_fault { addr; write = false })

@@ -23,6 +23,7 @@
 
 module T = Vliw.Tree
 module Exec = Vliw.Exec
+module C = Vliw.Compile
 module Translate = Translator.Translate
 module Params = Translator.Params
 module Vec = Translator.Vec
@@ -60,6 +61,12 @@ type stats = {
   mutable quarantines : int;     (** pages demoted to interpretation *)
   mutable degrade_retries : int; (** re-translations after backoff expiry *)
   mutable interp_pinned : int;   (** pages permanently pinned to interp *)
+  (* --- staged (closure-compiled) execution engine --- *)
+  mutable compiled_pages : int;      (** pages staged into closures *)
+  mutable compile_seconds : float;   (** wall time spent staging *)
+  mutable direct_link_hits : int;    (** on-page jumps resolved via the
+                                         memoized slot, no Hashtbl *)
+  mutable spec_log_hwm : int;        (** speculative-load log high water *)
 }
 
 let fresh_stats () =
@@ -71,7 +78,9 @@ let fresh_stats () =
     tcache_hits = 0; tcache_misses = 0; tcache_corrupt = 0;
     tcache_persists = 0; tcache_evicts = 0; tcache_skipped = 0;
     translator_faults = 0; exec_faults = 0; quarantines = 0;
-    degrade_retries = 0; interp_pinned = 0 }
+    degrade_retries = 0; interp_pinned = 0;
+    compiled_pages = 0; compile_seconds = 0.; direct_link_hits = 0;
+    spec_log_hwm = 0 }
 
 (* --- Instrumentation interface -------------------------------------
 
@@ -136,6 +145,8 @@ type event =
       (** backoff expired; translation is being attempted again *)
   | Interp_pinned of { cycle : int; page : int }
       (** failure budget exhausted; page interprets forever *)
+  | Vliw_compiled of { cycle : int; page : int; vliws : int; seconds : float }
+      (** a page's trees were staged into closures (compiled engine) *)
 
 (* Per-page failure tracking for the degradation ladder.  A page climbs
    down the ladder one rung per failure: quarantine (translation
@@ -149,6 +160,12 @@ type health = {
   mutable pinned_interp : bool;  (** never try translation again *)
 }
 
+(** Which execution engine runs installed translations: the interpretive
+    tree walker ([Exec.run]) or the staged closure-compiled engine
+    ([Vliw.Compile]).  Both produce bit-identical architected state;
+    [Compiled] is the default. *)
+type engine = Tree | Compiled
+
 type t = {
   tr : Translate.t;
   st : Vliw.Vstate.t;
@@ -159,9 +176,21 @@ type t = {
   tcache : Tcache.Store.t option;
       (** the persistent translation cache, when [run --tcache] gave us
           a directory *)
-  mutable spec_log : Exec.access list;
-      (** speculative loads that bypassed stores, outstanding in the
-          current group execution *)
+  mutable engine : engine;
+  cscratch : C.scratch;
+      (** shared scratch buffers of the staged engine (one VLIW executes
+          at a time, so one set serves every staged page) *)
+  compiled : (int, Translate.xpage * C.page) Hashtbl.t;
+      (** staged pages by base; the source [xpage] is kept so staleness
+          is detected by physical identity (invalidation replaces the
+          object) plus tree count (extension grows it in place) *)
+  (* speculative loads that bypassed stores, outstanding in the current
+     group execution — a cleared-on-entry preallocated buffer, not a
+     per-VLIW list (struct-of-arrays mirroring [Exec.access]) *)
+  mutable spec_addr : int array;
+  mutable spec_bytes : int array;
+  mutable spec_seq : int array;
+  mutable spec_n : int;
   mutable current_page : int;  (** base of the page we are executing *)
   mutable invalidated : bool;  (** current page's translation was dropped *)
   mutable pending_selfmod : bool;
@@ -302,8 +331,54 @@ let tcache_evict t base =
       emit t (fun () -> Tcache_evict { cycle = now t; page = base })
     end
 
+(* Drop the staged form of a page whose translation just became invalid
+   (self-modifying code, adaptive retranslation, quarantine, cast-out).
+   The identity check in [compiled_for] would catch the staleness
+   anyway, but dropping eagerly keeps the cache from pinning dead
+   closure graphs. *)
+let drop_compiled t base = Hashtbl.remove t.compiled base
+
+(* --- Speculative-load log ------------------------------------------
+
+   Outstanding speculative loads of the current group execution, kept
+   in a preallocated buffer that is cleared by resetting [spec_n] —
+   the per-VLIW [List.filter … @ log] churn this replaces allocated on
+   every VLIW with passed loads. *)
+
+let spec_clear t = t.spec_n <- 0
+
+let spec_push t addr bytes seq =
+  let n = t.spec_n in
+  if n = Array.length t.spec_addr then begin
+    let grow a =
+      let b = Array.make (2 * n) 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.spec_addr <- grow t.spec_addr;
+    t.spec_bytes <- grow t.spec_bytes;
+    t.spec_seq <- grow t.spec_seq
+  end;
+  t.spec_addr.(n) <- addr;
+  t.spec_bytes.(n) <- bytes;
+  t.spec_seq.(n) <- seq;
+  t.spec_n <- n + 1;
+  if t.spec_n > t.stats.spec_log_hwm then t.stats.spec_log_hwm <- t.spec_n
+
+(* Does any outstanding speculative load later in program order than
+   [sseq] overlap the store [saddr]/[sbytes]? *)
+let spec_conflicts t saddr sbytes sseq =
+  let rec go i =
+    i < t.spec_n
+    && ((t.spec_seq.(i) > sseq
+        && t.spec_addr.(i) < saddr + sbytes
+        && saddr < t.spec_addr.(i) + t.spec_bytes.(i))
+       || go (i + 1))
+  in
+  go 0
+
 let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
-    ?tcache_dir mem =
+    ?(engine = Compiled) ?tcache_dir mem =
   let m = Machine.create () in
   let st = Vliw.Vstate.create m in
   let tr = Translate.create ~frontend params mem in
@@ -317,7 +392,10 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
   let t =
     { tr; st; fe = frontend; interp_step = frontend.make_step m mem; mem;
       stats = fresh_stats (); tcache;
-      spec_log = []; current_page = -1; invalidated = false;
+      engine; cscratch = C.create_scratch (); compiled = Hashtbl.create 32;
+      spec_addr = Array.make 32 0; spec_bytes = Array.make 32 0;
+      spec_seq = Array.make 32 0; spec_n = 0;
+      current_page = -1; invalidated = false;
       pending_selfmod = false; fetch_hook = None; access_hook = None;
       interp_fetch_hook = None; timer_interval = None; timer_count = 0;
       alias_tally = Hashtbl.create 8;
@@ -349,6 +427,7 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
                digests to the key the stale entry was stored under *)
             tcache_evict t (Translate.page_base tr addr);
             Translate.invalidate tr addr;
+            drop_compiled t (Translate.page_base tr addr);
             t.stats.code_invalidations <- t.stats.code_invalidations + 1;
             emit t (fun () ->
                 Code_invalidated
@@ -377,19 +456,57 @@ let alias_check t (accesses : Exec.access list) =
     t.pending_selfmod <- true;
     false)
   else
-  let loads =
-    List.filter (fun (a : Exec.access) -> (not a.store) && a.passed_store)
-      accesses
-    @ t.spec_log
+    not
+      (List.exists
+         (fun (s : Exec.access) ->
+           s.store
+           && (List.exists
+                 (fun (l : Exec.access) ->
+                   (not l.store) && l.passed_store && l.seq > s.seq
+                   && overlap l s)
+                 accesses
+              || spec_conflicts t s.addr s.bytes s.seq))
+         accesses)
+
+(* The same check over the staged engine's scratch buffers: no lists
+   are built, every probe is an indexed read. *)
+let alias_check_c t (s : C.scratch) =
+  let n = s.a_n in
+  let selfmod =
+    t.tr.params.watch_code
+    && begin
+         let mask = lnot (t.tr.params.page_size - 1) in
+         let found = ref false in
+         for i = 0 to n - 1 do
+           if s.a_store.(i) && s.a_addr.(i) land mask = t.current_page then
+             found := true
+         done;
+         !found
+       end
   in
-  let stores = List.filter (fun (a : Exec.access) -> a.store) accesses in
-  not
-    (List.exists
-       (fun (s : Exec.access) ->
-         List.exists
-           (fun (l : Exec.access) -> l.seq > s.seq && overlap l s)
-           loads)
-       stores)
+  if selfmod then (
+    t.pending_selfmod <- true;
+    false)
+  else begin
+    let ok = ref true in
+    for si = 0 to n - 1 do
+      if !ok && s.a_store.(si) then begin
+        let sa = s.a_addr.(si) and sb = s.a_bytes.(si) and ss = s.a_seq.(si) in
+        for li = 0 to n - 1 do
+          if
+            !ok
+            && (not s.a_store.(li))
+            && s.a_passed.(li)
+            && s.a_seq.(li) > ss
+            && s.a_addr.(li) < sa + sb
+            && sa < s.a_addr.(li) + s.a_bytes.(li)
+          then ok := false
+        done;
+        if !ok && spec_conflicts t sa sb ss then ok := false
+      end
+    done;
+    !ok
+  end
 
 (* Interpret from [start] until the next call, cross-page branch,
    backward branch, sc/rfi, or the episode cap — then return the next
@@ -454,6 +571,7 @@ let health t base =
     and either extend the quarantine or pin the page for good. *)
 let record_failure t base =
   Translate.invalidate t.tr base;
+  drop_compiled t base;
   let h = health t base in
   h.failures <- h.failures + 1;
   t.stats.quarantines <- t.stats.quarantines + 1;
@@ -470,6 +588,29 @@ let record_failure t base =
       Quarantine
         { cycle = now t; page = base; failures = h.failures;
           until = h.backoff_until })
+
+(* Stage (or re-stage) the closure-compiled form of [page], lazily on
+   first dispatch.  Staleness is physical identity plus tree count:
+   invalidation replaces the xpage object in [tr.pages], and an
+   in-place extension grows its [vliws] — either way the staged form
+   is rebuilt here. *)
+let compiled_for t (page : Translate.xpage) : C.page =
+  match Hashtbl.find_opt t.compiled page.base with
+  | Some (src, cp) when src == page && C.n_staged cp = Vec.length page.vliws ->
+    cp
+  | _ ->
+    let t0 = Sys.time () in
+    let trees = Array.init (Vec.length page.vliws) (Vec.get page.vliws) in
+    let cp = C.stage ~st:t.st ~mem:t.mem ~scratch:t.cscratch trees in
+    let seconds = Sys.time () -. t0 in
+    t.stats.compiled_pages <- t.stats.compiled_pages + 1;
+    t.stats.compile_seconds <- t.stats.compile_seconds +. seconds;
+    Hashtbl.replace t.compiled page.base (page, cp);
+    emit t (fun () ->
+        Vliw_compiled
+          { cycle = now t; page = page.base; vliws = Array.length trees;
+            seconds });
+    cp
 
 (** Which rung is [base] on right now? *)
 let page_mode t base =
@@ -489,7 +630,7 @@ let run t ~entry ~fuel =
      GO_ACROSS_PAGE path, so it consults the ITLB and maintains the
      cast-out pool *)
   let rec goto_base addr =
-    t.spec_log <- [];
+    spec_clear t;
     let addr = addr land lnot 1 in
     if not (Memsys.Tlb.touch t.itlb (addr / t.tr.params.page_size)) then begin
       stats.itlb_misses <- stats.itlb_misses + 1;
@@ -571,7 +712,18 @@ let run t ~entry ~fuel =
           tcache_evict t page.base;
           record_failure t page.base;
           recover_at addr
-        | None -> exec_at page id))
+        | None -> dispatch page id))
+  and dispatch (page : Translate.xpage) id =
+    match t.engine with
+    | Tree -> exec_at page id
+    | Compiled -> (
+      match compiled_for t page with
+      | cp -> exec_c page cp (C.get cp id)
+      | exception ((Mem.Halted _ | Out_of_fuel | Deliver _) as e) -> raise e
+      | exception _ ->
+        (* staging itself blew up (structurally corrupt tree): the
+           interpretive walker owns error containment for this page *)
+        exec_at page id)
   and evict_to budget current =
     (* cast out least-recently-entered translations until within budget *)
     let live () =
@@ -594,6 +746,7 @@ let run t ~entry ~fuel =
       if !victim < 0 then continue_ := false
       else begin
         Translate.invalidate t.tr !victim;
+        drop_compiled t !victim;
         Memsys.Tlb.flush t.itlb;
         t.castouts <- t.castouts + 1;
         let victim = !victim in
@@ -655,62 +808,14 @@ let run t ~entry ~fuel =
       end
     | None -> ());
     let vliw = Vec.get page.vliws id in
-    if vliw.is_entry then t.spec_log <- [];
+    if vliw.is_entry then spec_clear t;
     (match t.fetch_hook with
     | Some f -> f ~addr:(Vec.get page.addrs id) ~size:(Vec.get page.sizes id)
     | None -> ());
     stats.vliws <- stats.vliws + 1;
     match Exec.run t.st t.mem ~alias_check:(alias_check t) vliw with
-    | exception Exec.Error reason ->
-      (* malformed VLIW (corruption, translator bug): no write was
-         applied, so the precise entry state is intact — quarantine the
-         page and redo these instructions by interpretation *)
-      stats.exec_faults <- stats.exec_faults + 1;
-      emit t (fun () ->
-          Exec_fault
-            { cycle = now t; page = t.current_page; pc = vliw.precise_entry;
-              reason });
-      tcache_evict t t.current_page;
-      record_failure t t.current_page;
-      recover_at vliw.precise_entry
-    | Rollback reason ->
-      stats.rollbacks <- stats.rollbacks + 1;
-      emit t (fun () ->
-          let kind =
-            match reason with
-            | Ralias -> if t.pending_selfmod then RbSelfmod else RbAlias
-            | Rfault _ -> RbFault
-            | Rtag _ -> RbTag
-          in
-          Rolled_back { cycle = now t; pc = vliw.precise_entry; kind });
-      (match reason with
-      | Ralias when t.pending_selfmod -> t.pending_selfmod <- false
-      | Ralias ->
-        stats.aliases <- stats.aliases + 1;
-        if t.tr.params.adaptive_alias then begin
-          let n =
-            1
-            + match Hashtbl.find_opt t.alias_tally t.current_page with
-              | Some n -> n
-              | None -> 0
-          in
-          Hashtbl.replace t.alias_tally t.current_page n;
-          (* frequent aliasing: retranslate this page with load
-             speculation inhibited (Section 5's suggested refinement) *)
-          if n = 32 then begin
-            (* the persisted entry embeds speculation decisions the
-               tally just disproved; drop it so the retranslation (with
-               load speculation off) is what gets re-persisted *)
-            tcache_evict t t.current_page;
-            Translate.inhibit_load_spec t.tr t.current_page;
-            Translate.invalidate t.tr t.current_page;
-            stats.adaptive_retranslations <- stats.adaptive_retranslations + 1;
-            emit t (fun () ->
-                Retranslate_adaptive { cycle = now t; page = t.current_page })
-          end
-        end
-      | Rfault _ | Rtag _ -> ());
-      recover_at vliw.precise_entry
+    | exception Exec.Error reason -> exec_fault_at vliw.precise_entry reason
+    | Rollback reason -> rolled_back_at vliw.precise_entry reason
     | Done { exit; accesses; nops = _ } ->
       List.iter
         (fun (a : Exec.access) ->
@@ -718,10 +823,11 @@ let run t ~entry ~fuel =
           else stats.loads <- stats.loads + 1;
           match t.access_hook with Some f -> f a | None -> ())
         accesses;
-      t.spec_log <-
-        List.filter (fun (a : Exec.access) -> (not a.store) && a.passed_store)
-          accesses
-        @ t.spec_log;
+      List.iter
+        (fun (a : Exec.access) ->
+          if (not a.store) && a.passed_store then
+            spec_push t a.addr a.bytes a.seq)
+        accesses;
       (* note: a self-modifying store never reaches this point — the
          alias/code-mod check rolls the VLIW back first, and the store
          then happens inside the interpretation episode, where the
@@ -732,7 +838,7 @@ let run t ~entry ~fuel =
           stats.onpage_jumps <- stats.onpage_jumps + 1;
           match Hashtbl.find_opt page.entries off with
           | Some id' ->
-            t.spec_log <- [];
+            spec_clear t;
             exec_at page id'
           | None ->
             (* invalid entry exception *)
@@ -741,54 +847,210 @@ let run t ~entry ~fuel =
                   { cycle = now t; kind = Xinvalid_entry;
                     target = page.base + off });
             goto_base (page.base + off))
-        | T.OffPage a ->
-          stats.cross_direct <- stats.cross_direct + 1;
+        | T.OffPage a -> exit_offpage a
+        | T.Indirect (loc, kind) -> exit_indirect vliw.precise_entry loc kind
+        | T.Trap tr -> exit_trap tr)
+    end
+  (* --- handlers shared by both execution engines.  A VLIW that
+     faulted, rolled back, or exited off-page behaves identically
+     whether the tree walker or the staged engine ran it. *)
+  and exec_fault_at precise reason =
+    (* malformed VLIW (corruption, translator bug): no write was
+       applied, so the precise entry state is intact — quarantine the
+       page and redo these instructions by interpretation *)
+    stats.exec_faults <- stats.exec_faults + 1;
+    emit t (fun () ->
+        Exec_fault { cycle = now t; page = t.current_page; pc = precise; reason });
+    tcache_evict t t.current_page;
+    record_failure t t.current_page;
+    recover_at precise
+  and rolled_back_at precise (reason : Exec.reason) =
+    stats.rollbacks <- stats.rollbacks + 1;
+    emit t (fun () ->
+        let kind =
+          match reason with
+          | Ralias -> if t.pending_selfmod then RbSelfmod else RbAlias
+          | Rfault _ -> RbFault
+          | Rtag _ -> RbTag
+        in
+        Rolled_back { cycle = now t; pc = precise; kind });
+    (match reason with
+    | Ralias when t.pending_selfmod -> t.pending_selfmod <- false
+    | Ralias ->
+      stats.aliases <- stats.aliases + 1;
+      if t.tr.params.adaptive_alias then begin
+        let n =
+          1
+          + match Hashtbl.find_opt t.alias_tally t.current_page with
+            | Some n -> n
+            | None -> 0
+        in
+        Hashtbl.replace t.alias_tally t.current_page n;
+        (* frequent aliasing: retranslate this page with load
+           speculation inhibited (Section 5's suggested refinement) *)
+        if n = 32 then begin
+          (* the persisted entry embeds speculation decisions the
+             tally just disproved; drop it so the retranslation (with
+             load speculation off) is what gets re-persisted *)
+          tcache_evict t t.current_page;
+          Translate.inhibit_load_spec t.tr t.current_page;
+          Translate.invalidate t.tr t.current_page;
+          drop_compiled t t.current_page;
+          stats.adaptive_retranslations <- stats.adaptive_retranslations + 1;
           emit t (fun () ->
-              Cross_page { cycle = now t; kind = Xdirect; target = a });
-          goto_base a
-        | T.Indirect (loc, kind) ->
-          (match kind with
-          | `Lr -> stats.cross_lr <- stats.cross_lr + 1
-          | `Ctr -> stats.cross_ctr <- stats.cross_ctr + 1
-          | `Gpr -> stats.cross_gpr <- stats.cross_gpr + 1);
-          let v, tag = Vliw.Vstate.get t.st loc in
-          (match tag with
-          | Vliw.Vstate.Clean ->
+              Retranslate_adaptive { cycle = now t; page = t.current_page })
+        end
+      end
+    | Rfault _ | Rtag _ -> ());
+    recover_at precise
+  and exit_offpage a =
+    stats.cross_direct <- stats.cross_direct + 1;
+    emit t (fun () -> Cross_page { cycle = now t; kind = Xdirect; target = a });
+    goto_base a
+  and exit_indirect precise loc kind =
+    (match kind with
+    | `Lr -> stats.cross_lr <- stats.cross_lr + 1
+    | `Ctr -> stats.cross_ctr <- stats.cross_ctr + 1
+    | `Gpr -> stats.cross_gpr <- stats.cross_gpr + 1);
+    let v, tag = Vliw.Vstate.get t.st loc in
+    match tag with
+    | Vliw.Vstate.Clean ->
+      emit t (fun () ->
+          let xkind =
+            match kind with `Lr -> Xlr | `Ctr -> Xctr | `Gpr -> Xgpr
+          in
+          Cross_page { cycle = now t; kind = xkind; target = v land lnot 1 });
+      goto_base (v land lnot 1)
+    | _ ->
+      (* cannot branch on a tagged value: recover precisely *)
+      stats.rollbacks <- stats.rollbacks + 1;
+      emit t (fun () ->
+          Rolled_back { cycle = now t; pc = precise; kind = RbTagged_target });
+      recover_at precise
+  and exit_trap tr =
+    match tr with
+    | T.Tsc next ->
+      stats.syscalls <- stats.syscalls + 1;
+      emit t (fun () -> Syscall_trap { cycle = now t; next });
+      Interp.interrupt t.st.m ~return_pc:next Interp.Vector.syscall;
+      goto_base t.st.m.pc
+    | T.Trfi ->
+      let m = t.st.m in
+      m.msr <- m.srr1;
+      (* interpret briefly after rfi, as Section 3.4 prescribes *)
+      recover_at (m.srr0 land lnot 3)
+    | T.Tillegal a ->
+      (* The translator could not crack the word at [a] — but that
+         conflates two architecturally distinct cases: an illegal
+         word (program interrupt) and an unfetchable pc (ISI).
+         Hand the pc to the interpreter, whose own fetch/decode
+         delivers the correct vector.  Found by the differential
+         fuzzer: a branch to an unmapped absolute address raised a
+         program interrupt here where the base architecture takes
+         an instruction-storage interrupt. *)
+      recover_at a
+  (* --- the staged (closure-compiled) engine: one [exec_c] per VLIW,
+     mirroring [exec_at] step for step, with intra-page control flow
+     direct-linked through the staged exits. *)
+  and exec_c (page : Translate.xpage) (cp : C.page) (cv : C.cvliw) =
+    decr fuel_left;
+    let precise = cv.c_tree.precise_entry in
+    if !fuel_left <= 0 then begin
+      t.resume_pc <- precise;
+      raise Out_of_fuel
+    end;
+    if (match t.prefault_hook with Some f -> f () | None -> false) then begin
+      (* injected page-fault storm: the VLIW appears not to have
+         executed, exactly like a real access fault *)
+      stats.rollbacks <- stats.rollbacks + 1;
+      emit t (fun () ->
+          Rolled_back { cycle = now t; pc = precise; kind = RbFault });
+      recover_at precise
+    end
+    else begin
+    (match t.boundary_hook with
+    | Some f when t.st.m.msr land Machine.Msr.ee <> 0 ->
+      if f () then begin
+        (* spurious external interrupt: VLIW boundaries are precise *)
+        stats.external_interrupts <- stats.external_interrupts + 1;
+        emit t (fun () -> External_interrupt { cycle = now t });
+        Interp.interrupt t.st.m ~return_pc:precise Interp.Vector.external_;
+        raise (Deliver t.st.m.pc)
+      end
+    | _ -> ());
+    (match t.timer_interval with
+    | Some n ->
+      t.timer_count <- t.timer_count + 1;
+      if t.timer_count >= n && t.st.m.msr land Machine.Msr.ee <> 0 then begin
+        (* external interrupt: state at a VLIW boundary is precise *)
+        t.timer_count <- 0;
+        stats.external_interrupts <- stats.external_interrupts + 1;
+        emit t (fun () -> External_interrupt { cycle = now t });
+        Interp.interrupt t.st.m ~return_pc:precise Interp.Vector.external_;
+        raise (Deliver t.st.m.pc)
+      end
+    | None -> ());
+    if cv.c_tree.is_entry then spec_clear t;
+    (match t.fetch_hook with
+    | Some f ->
+      f ~addr:(Vec.get page.addrs cv.c_id) ~size:(Vec.get page.sizes cv.c_id)
+    | None -> ());
+    stats.vliws <- stats.vliws + 1;
+    match C.exec_vliw cp cv ~alias_check:(alias_check_c t) with
+    | exception Exec.Error reason -> exec_fault_at precise reason
+    | exception Exec.Roll reason -> rolled_back_at precise reason
+    | leaf ->
+      let s = t.cscratch in
+      (match t.access_hook with
+      | None ->
+        for i = 0 to s.a_n - 1 do
+          if s.a_store.(i) then stats.stores <- stats.stores + 1
+          else begin
+            stats.loads <- stats.loads + 1;
+            if s.a_passed.(i) then
+              spec_push t s.a_addr.(i) s.a_bytes.(i) s.a_seq.(i)
+          end
+        done
+      | Some f ->
+        for i = 0 to s.a_n - 1 do
+          if s.a_store.(i) then stats.stores <- stats.stores + 1
+          else begin
+            stats.loads <- stats.loads + 1;
+            if s.a_passed.(i) then
+              spec_push t s.a_addr.(i) s.a_bytes.(i) s.a_seq.(i)
+          end;
+          f
+            { Exec.addr = s.a_addr.(i); bytes = s.a_bytes.(i);
+              seq = s.a_seq.(i); passed_store = s.a_passed.(i);
+              store = s.a_store.(i) }
+        done);
+      (match leaf.exit with
+      | C.Cnext cv' -> exec_c page cp cv'
+      | C.Cnext_id id' -> exec_c page cp (C.get cp id')
+      | C.Conpage link -> (
+        stats.onpage_jumps <- stats.onpage_jumps + 1;
+        if link.l_entry >= 0 then begin
+          (* steady state: the memoized slot, no Hashtbl probe *)
+          stats.direct_link_hits <- stats.direct_link_hits + 1;
+          spec_clear t;
+          exec_c page cp (C.get cp link.l_entry)
+        end
+        else
+          match Hashtbl.find_opt page.entries link.l_off with
+          | Some id' ->
+            link.l_entry <- id';
+            spec_clear t;
+            exec_c page cp (C.get cp id')
+          | None ->
+            (* invalid entry exception *)
             emit t (fun () ->
-                let xkind =
-                  match kind with `Lr -> Xlr | `Ctr -> Xctr | `Gpr -> Xgpr
-                in
                 Cross_page
-                  { cycle = now t; kind = xkind; target = v land lnot 1 });
-            goto_base (v land lnot 1)
-          | _ ->
-            (* cannot branch on a tagged value: recover precisely *)
-            stats.rollbacks <- stats.rollbacks + 1;
-            emit t (fun () ->
-                Rolled_back
-                  { cycle = now t; pc = vliw.precise_entry;
-                    kind = RbTagged_target });
-            recover_at vliw.precise_entry)
-        | T.Trap (Tsc next) ->
-          stats.syscalls <- stats.syscalls + 1;
-          emit t (fun () -> Syscall_trap { cycle = now t; next });
-          Interp.interrupt t.st.m ~return_pc:next Interp.Vector.syscall;
-          goto_base t.st.m.pc
-        | T.Trap Trfi ->
-          let m = t.st.m in
-          m.msr <- m.srr1;
-          (* interpret briefly after rfi, as Section 3.4 prescribes *)
-          recover_at (m.srr0 land lnot 3)
-        | T.Trap (Tillegal a) ->
-          (* The translator could not crack the word at [a] — but that
-             conflates two architecturally distinct cases: an illegal
-             word (program interrupt) and an unfetchable pc (ISI).
-             Hand the pc to the interpreter, whose own fetch/decode
-             delivers the correct vector.  Found by the differential
-             fuzzer: a branch to an unmapped absolute address raised a
-             program interrupt here where the base architecture takes
-             an instruction-storage interrupt. *)
-          recover_at a)
+                  { cycle = now t; kind = Xinvalid_entry;
+                    target = page.base + link.l_off });
+            goto_base (page.base + link.l_off))
+      | C.Coffpage a -> exit_offpage a
+      | C.Cindirect (loc, kind) -> exit_indirect precise loc kind
+      | C.Ctrap tr -> exit_trap tr)
     end
   in
   let rec drive addr =

@@ -73,21 +73,22 @@ let degraded (s : Monitor.stats) =
   s.translator_faults > 0 || s.exec_faults > 0 || s.quarantines > 0
   || s.interp_pinned > 0
 
-(** [run ?params ?hierarchy ?instrument ?tcache_dir ?ignore_mem w]
+(** [run ?params ?engine ?hierarchy ?instrument ?tcache_dir ?ignore_mem w]
     executes [w] under DAISY and returns the full set of measurements.
-    [instrument] is called with the freshly-created VMM before
-    execution starts, so observability sinks can attach to
-    {!Monitor.t.event_hook}.  [tcache_dir] enables the persistent
-    translation cache there.  [ignore_mem] lists word addresses
-    excluded from the differential memory comparison (interrupt
-    counters under injected interrupts).  Raises {!Mismatch} if the
-    translated execution diverges from the reference interpreter in any
-    observable way. *)
-let run ?(params = Params.default) ?hierarchy ?instrument ?tcache_dir
+    [engine] selects the VLIW execution engine (tree walker or staged
+    closures; defaults to {!Monitor.create}'s default).  [instrument]
+    is called with the freshly-created VMM before execution starts, so
+    observability sinks can attach to {!Monitor.t.event_hook}.
+    [tcache_dir] enables the persistent translation cache there.
+    [ignore_mem] lists word addresses excluded from the differential
+    memory comparison (interrupt counters under injected interrupts).
+    Raises {!Mismatch} if the translated execution diverges from the
+    reference interpreter in any observable way. *)
+let run ?(params = Params.default) ?engine ?hierarchy ?instrument ?tcache_dir
     ?(ignore_mem = []) (w : Workloads.Wl.t) =
   let rcode, rst, rmem, it = reference w in
   let mem, entry = Workloads.Wl.instantiate w in
-  let vmm = Monitor.create ~params ?tcache_dir mem in
+  let vmm = Monitor.create ~params ?engine ?tcache_dir mem in
   let load_misses = ref 0 and store_misses = ref 0 and imiss = ref 0 in
   let stall = ref 0 in
   (match hierarchy with

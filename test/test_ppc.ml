@@ -418,6 +418,31 @@ let test_mmio_console () =
   in
   Alcotest.(check string) "console output" "hi" (Mem.output mem)
 
+(* The MMIO load-decode rule, pinned: a load of any width whose
+   enclosing word is the sequence register ticks it once and returns the
+   new count masked to the load's width; every other I/O-space load
+   reads as 0 with no side effect.  (The three widths used to disagree:
+   halfword loads always read 0, word loads required exact address
+   equality.) *)
+let test_mmio_load_decode () =
+  let mem = Mem.create 0x1000 in
+  Alcotest.(check int) "word read ticks" 1 (Mem.load32 mem Mem.mmio_seq);
+  Alcotest.(check int) "byte in seq word ticks" 2 (Mem.load8 mem (Mem.mmio_seq + 3));
+  Alcotest.(check int) "half in seq word ticks" 3 (Mem.load16 mem (Mem.mmio_seq + 2));
+  Alcotest.(check int) "device counted every read" 3 mem.seq;
+  (* width masking: run the counter past one byte *)
+  mem.seq <- 0x1FE;
+  Alcotest.(check int) "byte read masks to 8 bits" 0xFF (Mem.load8 mem Mem.mmio_seq);
+  Alcotest.(check int) "half read masks to 16 bits" 0x200 (Mem.load16 mem Mem.mmio_seq);
+  (* any other MMIO address reads 0, silently, at every width *)
+  List.iter
+    (fun addr ->
+      Alcotest.(check int) "other mmio byte" 0 (Mem.load8 mem addr);
+      Alcotest.(check int) "other mmio half" 0 (Mem.load16 mem addr);
+      Alcotest.(check int) "other mmio word" 0 (Mem.load32 mem addr))
+    [ Mem.mmio_halt; Mem.mmio_putchar; Mem.mmio_base + 0x100 ];
+  Alcotest.(check int) "no stray ticks" 0x200 mem.seq
+
 let test_asm_labels () =
   let _, _, _, labels, _ =
     run_asm (fun a ->
@@ -465,6 +490,7 @@ let () =
           Alcotest.test_case "sc + rfi" `Quick test_syscall_and_rfi;
           Alcotest.test_case "data fault delivery" `Quick test_data_fault_delivery;
           Alcotest.test_case "mmio console" `Quick test_mmio_console;
+          Alcotest.test_case "mmio load decode" `Quick test_mmio_load_decode;
           Alcotest.test_case "reuse counting" `Quick test_reuse_counting ] );
       ( "asm",
         [ Alcotest.test_case "labels and align" `Quick test_asm_labels ] ) ]
