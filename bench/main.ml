@@ -99,6 +99,127 @@ let tcache_series () =
   Printf.printf "(cache entries written and cleaned up: %d)\n" removed;
   J.Arr rows
 
+(* Checkpoint-overhead series: the cost of crash safety.  Each registry
+   workload runs plain and supervised (periodic snapshots at a sweep of
+   cadences), interleaved, best-of-N wall times.  The headline number
+   is the fractional ns/base-insn overhead at the default cadence — the
+   cost a long production run pays for being resumable after kill -9. *)
+let checkpoint_series () =
+  print_newline ();
+  print_endline "Checkpoint overhead: plain vs supervised";
+  print_endline "----------------------------------------";
+  let module J = Obs.Json in
+  let everys = [ 10_000; 50_000; 200_000 ] in
+  let default_every = 50_000 in
+  (* execution is deterministic, so wall-time noise is one-sided (host
+     scheduling only ever adds time): the minimum of the interleaved
+     samples is the robust estimator, not the median *)
+  let minimum l = List.fold_left min infinity l in
+  let time_run (w : Workloads.Wl.t) attach =
+    let mem, entry = Workloads.Wl.instantiate w in
+    let vmm = Vmm.Monitor.create mem in
+    attach vmm;
+    let t0 = Unix.gettimeofday () in
+    ignore (Vmm.Monitor.run vmm ~entry ~fuel:(w.fuel * 2));
+    (Unix.gettimeofday () -. t0, vmm.stats)
+  in
+  let reps = 7 in
+  let default_overheads = ref [] in
+  let rows =
+    List.map
+      (fun (w : Workloads.Wl.t) ->
+        let _, _, _, it = Vmm.Run.reference w in
+        let base = float_of_int (max 1 it.Ppc.Interp.icount) in
+        let plain_samples = ref [] in
+        let per_every =
+          List.map
+            (fun every ->
+              let dir =
+                Filename.concat (Filename.get_temp_dir_name ())
+                  (Printf.sprintf "daisy_bench_ck.%d.%s.%d" (Unix.getpid ())
+                     w.name every)
+              in
+              let snapshots = ref 0 and seconds = ref 0. in
+              let samples =
+                List.init reps (fun _ ->
+                    (* interleave a plain run with every supervised one
+                       so host-load drift hits both sides equally *)
+                    plain_samples :=
+                      fst (time_run w (fun _ -> ())) :: !plain_samples;
+                    let dt, stats =
+                      time_run w (fun vmm ->
+                          ignore
+                            (Guard.Supervise.attach ~checkpoint_dir:dir
+                               ~checkpoint_every:every ~workload:w.name vmm))
+                    in
+                    snapshots := stats.checkpoints_written;
+                    seconds := stats.checkpoint_seconds;
+                    dt)
+              in
+              let bytes =
+                List.fold_left
+                  (fun acc f ->
+                    acc
+                    + (try
+                         (Unix.stat (Filename.concat dir f)).Unix.st_size
+                       with Unix.Unix_error _ -> 0))
+                  0
+                  (try Array.to_list (Sys.readdir dir)
+                   with Sys_error _ -> [])
+              in
+              ignore (Tcache.Store.clear_dir dir);
+              (try
+                 Array.iter
+                   (fun f -> Sys.remove (Filename.concat dir f))
+                   (Sys.readdir dir);
+                 Sys.rmdir dir
+               with Sys_error _ -> ());
+              (every, minimum samples, !snapshots, bytes, !seconds))
+            everys
+        in
+        (* the plain estimate uses every interleaved sample, so it sees
+           the same spread of host conditions as the supervised runs *)
+        let plain_ns = minimum !plain_samples *. 1e9 /. base in
+        let rows =
+          List.map
+            (fun (every, ck, snapshots, bytes, seconds) ->
+              let ck_ns = ck *. 1e9 /. base in
+              let overhead = (ck_ns -. plain_ns) /. plain_ns in
+              if every = default_every then
+                default_overheads := overhead :: !default_overheads;
+              Printf.printf
+                "%-10s every %6d   %7.1f -> %7.1f ns/insn   %+6.1f%%   %3d snapshots (%d B, %.1f ms)\n"
+                w.name every plain_ns ck_ns (overhead *. 100.) snapshots
+                bytes (seconds *. 1000.);
+              J.Obj
+                [ ("every", J.Int every);
+                  ("ns_per_base_insn", J.Float ck_ns);
+                  ("overhead_frac", J.Float overhead);
+                  ("snapshots", J.Int snapshots);
+                  ("snapshot_bytes", J.Int bytes);
+                  ("write_seconds", J.Float seconds) ])
+            per_every
+        in
+        J.Obj
+          [ ("name", J.Str w.name);
+            ("base_insns", J.Int it.Ppc.Interp.icount);
+            ("plain_ns_per_base_insn", J.Float plain_ns);
+            ("checkpointed", J.Arr rows) ])
+      Workloads.Registry.all
+  in
+  let mean_default =
+    match !default_overheads with
+    | [] -> 0.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  Printf.printf "mean overhead at default cadence (every %d): %+.1f%%\n"
+    default_every (mean_default *. 100.);
+  ( J.Obj
+      [ ("default_every", J.Int default_every);
+        ("overhead_frac_default_mean", J.Float mean_default);
+        ("workloads", J.Arr rows) ],
+    mean_default )
+
 (* Host-throughput series: wall-clock speed of the two VLIW execution
    engines over the whole registry.  This is the fleet-migration metric
    — nanoseconds of host time per emulated base instruction — measured
@@ -237,15 +358,23 @@ let write_bench_json path micro =
         (Printexc.to_string e);
       (J.Null, 0.)
   in
+  let checkpoint, mean_ck_overhead =
+    try checkpoint_series ()
+    with e ->
+      Printf.printf "checkpoint series skipped: %s\n" (Printexc.to_string e);
+      (J.Null, 0.)
+  in
   let j =
     J.Obj
-      [ ("schema", J.Str "daisy-bench-v3");
+      [ ("schema", J.Str "daisy-bench-v4");
         ("workloads", J.Arr (List.map workload ws));
         ("mean_ilp_inf", J.Float mean_ilp);
         ("translator", translator);
         ("tcache", tcache);
         ("host_throughput", host_throughput);
-        ("mean_engine_speedup", J.Float mean_speedup) ]
+        ("mean_engine_speedup", J.Float mean_speedup);
+        ("checkpoint", checkpoint);
+        ("checkpoint_overhead_default_mean", J.Float mean_ck_overhead) ]
   in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> J.to_channel oc j);

@@ -8,11 +8,14 @@
      daisy ladder <workload>        — the parallelism ladder (Ch. 6)
      daisy fuzz --seed S --pages N  — differential fuzzing vs. the
                                       reference interpreter
+     daisy resume <dir>             — continue a checkpointed run
+     daisy tcache <dir> ...         — inspect the persistent cache
 
    Exit codes: 0 = ran and verified; 3 = differential verification
    failed (a compatibility bug); 4 = verified bit-exact, but only by
    degrading — the ladder quarantined pages or pinned them to
-   interpretation after injected/real faults. *)
+   interpretation after injected/real faults; 143 = stopped by SIGTERM
+   at a commit boundary, leaving a resumable checkpoint behind. *)
 
 open Cmdliner
 module Params = Translator.Params
@@ -95,6 +98,11 @@ let fault_term =
   let po = rate "fault-tcache" "Probability of flipping a byte in each persisted tcache entry." in
   let ir = rate "fault-interrupts" "External-interrupt probability per VLIW-tree boundary." in
   let st = rate "fault-storms" "Probability a page-fault storm starts, per VLIW." in
+  let si =
+    rate "fault-silent"
+      "Probability of *silently* corrupting a page per install (a branch \
+       test's sense is inverted; only shadow verification can catch it)."
+  in
   let sl =
     Arg.(value & opt int 16
          & info [ "fault-storm-length" ] ~docv:"N"
@@ -105,7 +113,7 @@ let fault_term =
          & info [ "fault-cocktail" ]
              ~doc:"Enable every injector class at its default rate.")
   in
-  let make seed tr bf po ir st sl cocktail =
+  let make seed tr bf po ir st si sl cocktail =
     let d = if cocktail then Fault.Inject.cocktail else Fault.Inject.quiet in
     let pick v dflt = if v > 0. then v else dflt in
     let cfg =
@@ -115,16 +123,95 @@ let fault_term =
         tcache_poison_rate = pick po d.tcache_poison_rate;
         interrupt_rate = pick ir d.interrupt_rate;
         storm_rate = pick st d.storm_rate;
-        storm_length = sl }
+        storm_length = sl;
+        silent_rate = pick si d.silent_rate }
     in
     if
       cfg.translator_fault_rate > 0. || cfg.bitflip_rate > 0.
       || cfg.tcache_poison_rate > 0. || cfg.interrupt_rate > 0.
-      || cfg.storm_rate > 0.
+      || cfg.storm_rate > 0. || cfg.silent_rate > 0.
     then Some cfg
     else None
   in
-  Term.(const make $ seed $ tr $ bf $ po $ ir $ st $ sl $ cocktail)
+  Term.(const make $ seed $ tr $ bf $ po $ ir $ st $ si $ sl $ cocktail)
+
+(* Shared supervision flags (lib/guard): checkpointing, watchdog
+   deadlines and sampled shadow verification. *)
+type guard_opts = {
+  g_checkpoint_dir : string option;
+  g_every : int;
+  g_console_out : string option;
+  g_shadow_sample : float;
+  g_shadow_seed : int;
+  g_shadow_out : string option;
+  g_wd_translate : float option;
+  g_wd_compile : float option;
+  g_wd_progress : int option;
+}
+
+let guard_term =
+  let ck_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Write periodic resumable snapshots to $(docv); a killed \
+                   run continues with $(b,daisy resume) $(docv).")
+  in
+  let every =
+    Arg.(value & opt int 50_000
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Commit-boundary cycles (VLIWs + interpreted instructions, \
+                   the VMM's proxy for base instructions) between snapshots.")
+  in
+  let console_out =
+    Arg.(value & opt (some string) None
+         & info [ "console-out" ] ~docv:"FILE"
+             ~doc:"Write the guest console output to $(docv) (the \
+                   crash-recovery invariant: bit-identical across kill and \
+                   resume).")
+  in
+  let shadow_sample =
+    Arg.(value & opt float 0.
+         & info [ "shadow-sample" ] ~docv:"RATE"
+             ~doc:"Re-execute this fraction of committed VLIW packets under \
+                   the reference interpreter and compare architected effects \
+                   (1.0 = every packet).")
+  in
+  let shadow_seed =
+    Arg.(value & opt int 0
+         & info [ "shadow-seed" ] ~docv:"SEED" ~doc:"Shadow sampler seed.")
+  in
+  let shadow_out =
+    Arg.(value & opt (some string) None
+         & info [ "shadow-out" ] ~docv:"DIR"
+             ~doc:"Write a fuzz-format reproducer here on shadow divergence \
+                   (replay with $(b,daisy fuzz --replay)).")
+  in
+  let wd_translate =
+    Arg.(value & opt (some float) None
+         & info [ "watchdog-translate" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget per page translation; an overrun takes \
+                   a ladder strike and recovers by interpretation.")
+  in
+  let wd_compile =
+    Arg.(value & opt (some float) None
+         & info [ "watchdog-compile" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget per page staging in the compiled \
+                   engine.")
+  in
+  let wd_progress =
+    Arg.(value & opt (some int) None
+         & info [ "watchdog-progress" ] ~docv:"N"
+             ~doc:"Runaway-loop detector: quarantine a page after $(docv) \
+                   consecutive committed boundaries at the same pc with no \
+                   interpretation in between.")
+  in
+  let make g_checkpoint_dir g_every g_console_out g_shadow_sample g_shadow_seed
+      g_shadow_out g_wd_translate g_wd_compile g_wd_progress =
+    { g_checkpoint_dir; g_every; g_console_out; g_shadow_sample; g_shadow_seed;
+      g_shadow_out; g_wd_translate; g_wd_compile; g_wd_progress }
+  in
+  Term.(const make $ ck_dir $ every $ console_out $ shadow_sample $ shadow_seed
+        $ shadow_out $ wd_translate $ wd_compile $ wd_progress)
 
 let with_out path f =
   match open_out path with
@@ -192,8 +279,8 @@ let run_cmd =
                    $(b,tree) (the interpretive tree walker).")
   in
   let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
-  let run w params engine finite trace_out trace_format trace_cap metrics_out
-      tcache_dir faults =
+  let run (w : Workloads.Wl.t) params engine finite trace_out trace_format
+      trace_cap metrics_out tcache_dir faults guard =
     if trace_cap <= 0 then begin
       Printf.eprintf "daisy: --trace-cap must be positive\n";
       exit 2
@@ -209,14 +296,35 @@ let run_cmd =
       | _ -> Some (Obs.Bridge.create ?tracer ?metrics ())
     in
     let inject = Option.map Fault.Inject.create faults in
+    let watchdog =
+      { Guard.Watchdog.translate_s = guard.g_wd_translate;
+        compile_s = guard.g_wd_compile; progress = guard.g_wd_progress }
+    in
+    let shadow =
+      if guard.g_shadow_sample > 0. then
+        Some
+          { Guard.Shadow.default with sample = guard.g_shadow_sample;
+            seed = guard.g_shadow_seed; out_dir = guard.g_shadow_out }
+      else None
+    in
+    let supervised =
+      guard.g_checkpoint_dir <> None || shadow <> None
+      || watchdog <> Guard.Watchdog.none
+    in
+    if guard.g_checkpoint_dir <> None then Guard.Supervise.install_sigterm ();
     let instrument =
-      match (bridge, inject) with
-      | None, None -> None
+      match (bridge, inject, supervised) with
+      | None, None, false -> None
       | _ ->
         Some
           (fun vmm ->
             (match bridge with Some b -> Obs.Bridge.attach b vmm | None -> ());
-            (match inject with Some i -> Fault.Inject.attach i vmm | None -> ()))
+            (match inject with Some i -> Fault.Inject.attach i vmm | None -> ());
+            if supervised then
+              ignore
+                (Guard.Supervise.attach ?checkpoint_dir:guard.g_checkpoint_dir
+                   ~checkpoint_every:guard.g_every ~watchdog ?shadow
+                   ~workload:w.name vmm))
     in
     (* a transparent injected interrupt leaves exactly one architected
        trace: the mini OS's interrupt counter word *)
@@ -228,12 +336,21 @@ let run_cmd =
     in
     let r =
       try Vmm.Run.run ~params ~engine ?hierarchy ?instrument ?tcache_dir ~ignore_mem w
-      with Vmm.Run.Mismatch msg ->
+      with
+      | Vmm.Run.Mismatch msg ->
         (* differential verification against the reference interpreter
            failed: a correctness bug, never a measurement detail *)
         Printf.eprintf "daisy: verification failed: %s\n" msg;
         exit 3
+      | Guard.Supervise.Terminated ->
+        Printf.eprintf "daisy: SIGTERM at a commit boundary; checkpoint %s\n"
+          (match guard.g_checkpoint_dir with Some d -> "written to " ^ d
+                                           | None -> "skipped");
+        exit 143
     in
+    (match guard.g_console_out with
+    | Some path -> with_out path (fun oc -> output_string oc r.console)
+    | None -> ());
     (match (trace_out, tracer) with
     | Some path, Some tr ->
       (match trace_format with
@@ -278,6 +395,13 @@ let run_cmd =
     (match inject with
     | None -> ()
     | Some i -> Printf.printf "%s\n" (Fault.Inject.report i));
+    (let s = r.stats in
+     if supervised || s.checkpoints_written > 0 then
+       Printf.printf
+         "guard:                %d checkpoints (%.1f ms), %d deadline hits, \
+          %d shadow checks, %d divergences\n"
+         s.checkpoints_written (s.checkpoint_seconds *. 1000.) s.deadline_hits
+         s.shadow_checked s.shadow_divergences);
     let s = r.stats in
     if Vmm.Run.degraded s then begin
       Printf.printf
@@ -291,7 +415,99 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ w $ params_term $ engine $ finite $ trace_out
-          $ trace_format $ trace_cap $ metrics_out $ tcache_dir $ fault_term)
+          $ trace_format $ trace_cap $ metrics_out $ tcache_dir $ fault_term
+          $ guard_term)
+
+let resume_cmd =
+  let doc =
+    "Resume a checkpointed run.  Restores the newest valid snapshot \
+     sequence from DIR, continues execution from its precise commit \
+     boundary, keeps checkpointing into the same directory, and performs \
+     the same end-to-end differential verification as $(b,daisy run) — \
+     console output and exit code are bit-identical to the uninterrupted \
+     run.  Translation parameters must match the original run's \
+     (pass the same flags); the snapshot's fingerprint is checked."
+  in
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let console_out =
+    Arg.(value & opt (some string) None
+         & info [ "console-out" ] ~docv:"FILE"
+             ~doc:"Write the guest console output to $(docv).")
+  in
+  let run dir params console_out =
+    match Guard.Checkpoint.load ~dir with
+    | None ->
+      Printf.eprintf "daisy: no usable checkpoint in %s\n" dir;
+      exit 1
+    | Some loaded ->
+      let snap = loaded.Guard.Checkpoint.last in
+      let w =
+        match Workloads.Registry.by_name snap.s_workload with
+        | w -> w
+        | exception Invalid_argument _ ->
+          Printf.eprintf "daisy: checkpoint is for unknown workload %S\n"
+            snap.s_workload;
+          exit 1
+      in
+      if loaded.dropped > 0 then
+        Printf.eprintf
+          "warning: ignored %d trailing corrupt/unreadable snapshot file(s)\n"
+          loaded.dropped;
+      Guard.Supervise.install_sigterm ();
+      let r =
+        try
+          Vmm.Run.run ~params ~engine:snap.s_engine
+            ~prepare:(fun vmm ->
+              (* restore first, then attach the supervisor: the
+                 checkpointer's cadence baseline must be the restored
+                 clock, not zero, or the first boundary would snapshot
+                 again immediately *)
+              let pc, consumed = Guard.Checkpoint.restore_into loaded vmm in
+              ignore
+                (Guard.Supervise.attach ~checkpoint_dir:dir
+                   ~checkpoint_every:snap.s_every
+                   ~checkpoint_seq:(snap.s_seq + 1) ~workload:w.name vmm);
+              Some (pc, max 1 ((w.fuel * 2) - consumed)))
+            w
+        with
+        | Vmm.Run.Mismatch msg ->
+          Printf.eprintf "daisy: verification failed: %s\n" msg;
+          exit 3
+        | Guard.Checkpoint.Incompatible msg ->
+          Printf.eprintf "daisy: %s\n" msg;
+          exit 1
+        | Guard.Supervise.Terminated ->
+          Printf.eprintf
+            "daisy: SIGTERM at a commit boundary; checkpoint written to %s\n"
+            dir;
+          exit 143
+      in
+      (match console_out with
+      | Some path -> with_out path (fun oc -> output_string oc r.console)
+      | None -> ());
+      Printf.printf "workload:             %s (resumed from %s, snapshot %d)\n"
+        r.Vmm.Run.name dir (snap.s_seq);
+      Printf.printf "exit code:            %s\n"
+        (match r.exit_code with Some c -> string_of_int c | None -> "(fuel)");
+      let s = r.stats in
+      Printf.printf "tree VLIWs executed:  %d (+%d interpreted instructions)\n"
+        s.vliws s.interp_insns;
+      Printf.printf
+        "guard:                %d checkpoints (%.1f ms), %d deadline hits, \
+         %d shadow checks, %d divergences\n"
+        s.checkpoints_written (s.checkpoint_seconds *. 1000.) s.deadline_hits
+        s.shadow_checked s.shadow_divergences;
+      if Vmm.Run.degraded s then begin
+        Printf.printf
+          "degraded:             %d translator faults, %d exec faults, \
+           %d quarantines, %d retries, %d pages pinned to interpretation\n"
+          s.translator_faults s.exec_faults s.quarantines s.degrade_retries
+          s.interp_pinned;
+        exit 4
+      end
+  in
+  Cmd.v (Cmd.info "resume" ~doc)
+    Term.(const run $ dir $ params_term $ console_out)
 
 let profile_cmd =
   let doc = "Profile a workload's per-page hotness under DAISY." in
@@ -406,7 +622,10 @@ let ladder_cmd =
 
 let tcache_cmd =
   let doc = "Inspect or clear a persistent translation cache directory." in
-  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  (* a plain string, not [Arg.dir]: a missing or never-populated cache
+     directory is an empty cache, not a usage error — every subcommand
+     reports an empty summary and exits 0 *)
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
   let stats_cmd =
     let doc = "Summarise the entries in a cache directory." in
     let run dir =
@@ -513,26 +732,62 @@ let fuzz_cmd =
          & info [ "replay" ] ~docv:"FILE"
              ~doc:"Re-run one reproducer file instead of generating a corpus.")
   in
-  let run seed pages insns fuel out replay faults =
+  let shadow_sample =
+    Arg.(value & opt float 0.
+         & info [ "shadow-sample" ] ~docv:"RATE"
+             ~doc:"Also shadow-verify this fraction of committed packets in \
+                   every fuzzed VMM run (1.0 = every packet); caught \
+                   divergences are repaired in place, so the verdicts are \
+                   unchanged — the count is reported at the end.")
+  in
+  let run seed pages insns fuel out replay shadow_sample faults =
+    let divergences = ref 0 in
+    let attach_extra =
+      if shadow_sample > 0. then
+        Some
+          (fun (vmm : Vmm.Monitor.t) ->
+            ignore
+              (Guard.Shadow.attach
+                 { Guard.Shadow.default with sample = shadow_sample; seed }
+                 vmm);
+            let prev = vmm.event_hook in
+            vmm.event_hook <-
+              Some
+                (fun ev ->
+                  (match ev with
+                  | Vmm.Monitor.Shadow_divergence _ -> incr divergences
+                  | _ -> ());
+                  match prev with Some f -> f ev | None -> ()))
+      else None
+    in
+    let report_shadow () =
+      if shadow_sample > 0. then
+        Printf.printf "shadow: %d divergence(s) caught and repaired\n"
+          !divergences
+    in
     match replay with
     | Some path ->
-      (match Fault.Fuzz.replay ?faults path with
-      | Match -> Printf.printf "%s: match\n" path
-      | Hang -> Printf.printf "%s: hang (both sides out of fuel)\n" path
+      (match Fault.Fuzz.replay ?faults ?attach_extra path with
+      | Match -> Printf.printf "%s: match\n" path; report_shadow ()
+      | Hang ->
+        Printf.printf "%s: hang (both sides out of fuel)\n" path;
+        report_shadow ()
       | Mismatch m ->
         Printf.printf "%s: MISMATCH: %s\n" path m;
         exit 3)
     | None ->
       let s =
-        Fault.Fuzz.fuzz ?faults ~out_dir:out ~insns ~fuel ~log:print_endline
-          ~seed ~pages ()
+        Fault.Fuzz.fuzz ?faults ?attach_extra ~out_dir:out ~insns ~fuel
+          ~log:print_endline ~seed ~pages ()
       in
       Printf.printf "fuzz: %d pages, %d matched, %d hung, %d mismatched\n"
         s.pages s.matched s.hung s.mismatched;
+      report_shadow ();
       if s.mismatched > 0 then exit 3
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seed $ pages $ insns $ fuel $ out $ replay $ fault_term)
+    Term.(const run $ seed $ pages $ insns $ fuel $ out $ replay
+          $ shadow_sample $ fault_term)
 
 let () =
   let doc = "DAISY: dynamic binary translation onto a tree-VLIW machine" in
@@ -540,5 +795,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; profile_cmd; trees_cmd; experiments_cmd;
-            ladder_cmd; tcache_cmd; fuzz_cmd ]))
+          [ list_cmd; run_cmd; resume_cmd; profile_cmd; trees_cmd;
+            experiments_cmd; ladder_cmd; tcache_cmd; fuzz_cmd ]))

@@ -243,14 +243,16 @@ let wl_of ~seed ~index ~fuel slots =
     per-page derived seed, so page verdicts are independent of each
     other).  Each engine run gets its own freshly-seeded injector:
     injectors are stateful RNGs, and sharing one would entangle the two
-    runs' fault schedules. *)
-let run_slots ?faults ~seed ~index ~fuel slots =
+    runs' fault schedules.  [attach_extra] attaches additional
+    instrumentation after the injector (the guard's shadow verifier,
+    observability sinks). *)
+let run_slots ?faults ?attach_extra ~seed ~index ~fuel slots =
   let w = wl_of ~seed ~index ~fuel slots in
   let run_engine (engine : Vmm.Monitor.engine) =
     let label =
       match engine with Vmm.Monitor.Tree -> "tree" | Compiled -> "compiled"
     in
-    let ignore_mem, instrument =
+    let ignore_mem, inject =
       match faults with
       | None -> ([], None)
       | Some (cfg : Inject.config) ->
@@ -259,6 +261,15 @@ let run_slots ?faults ~seed ~index ~fuel slots =
         in
         ( (if cfg.interrupt_rate > 0. then [ Wl.interrupt_count_addr ] else []),
           Some (Inject.attach inj) )
+    in
+    let instrument =
+      match (inject, attach_extra) with
+      | None, None -> None
+      | _ ->
+        Some
+          (fun vmm ->
+            (match inject with Some f -> f vmm | None -> ());
+            match attach_extra with Some f -> f vmm | None -> ())
     in
     match Vmm.Run.run ~engine ?instrument ~ignore_mem w with
     | r -> if r.exit_code = None then Hang else Match
@@ -342,9 +353,9 @@ let read_reproducer path =
   | Some (seed, index, fuel) -> (seed, index, fuel, Array.of_list (List.rev !slots))
 
 (** Re-run a reproducer file; returns its verdict. *)
-let replay ?faults path =
+let replay ?faults ?attach_extra path =
   let seed, index, fuel, slots = read_reproducer path in
-  run_slots ?faults ~seed ~index ~fuel slots
+  run_slots ?faults ?attach_extra ~seed ~index ~fuel slots
 
 (* ------------------------------------------------------------------ *)
 (* The corpus driver                                                   *)
@@ -361,7 +372,7 @@ type summary = {
     pages.  [faults] adds injection; [out_dir], when given, enables
     shrinking and writes one reproducer file per mismatch.  [log] gets
     one line per notable event. *)
-let fuzz ?faults ?out_dir ?(insns = 96) ?(fuel = 100_000)
+let fuzz ?faults ?attach_extra ?out_dir ?(insns = 96) ?(fuel = 100_000)
     ?(log = fun (_ : string) -> ()) ~seed ~pages () =
   let allow_raw =
     match faults with
@@ -374,7 +385,7 @@ let fuzz ?faults ?out_dir ?(insns = 96) ?(fuel = 100_000)
     let rng = Random.State.make [| seed; index; 0 |] in
     let slots = gen_slots rng ~insns ~allow_raw in
     let reproducer = ref None in
-    let verdict = run_slots ?faults ~seed ~index ~fuel slots in
+    let verdict = run_slots ?faults ?attach_extra ~seed ~index ~fuel slots in
     (match verdict with
     | Match -> incr matched
     | Hang ->
@@ -387,7 +398,7 @@ let fuzz ?faults ?out_dir ?(insns = 96) ?(fuel = 100_000)
       | None -> ()
       | Some dir ->
         let still s =
-          match run_slots ?faults ~seed ~index ~fuel s with
+          match run_slots ?faults ?attach_extra ~seed ~index ~fuel s with
           | Mismatch _ -> true
           | Match | Hang -> false
         in

@@ -42,13 +42,20 @@ type config = {
   interrupt_rate : float;         (** per VLIW-tree boundary with EE set *)
   storm_rate : float;             (** chance a storm starts, per VLIW *)
   storm_length : int;             (** forced faults per storm *)
+  silent_rate : float;
+      (** per page install: *undetectable* corruption — a branch test's
+          sense is inverted, so the translation commits down the wrong
+          path with plausible state and no digest or datapath trip.
+          Only shadow verification (lib/guard) can catch this class;
+          it is deliberately not part of {!cocktail}, which asserts
+          that every injected fault is caught without a shadow. *)
 }
 
 (** All rates zero: attaching this config is a no-op. *)
 let quiet =
   { seed = 0xDA15; translator_fault_rate = 0.; bitflip_rate = 0.;
     tcache_poison_rate = 0.; interrupt_rate = 0.; storm_rate = 0.;
-    storm_length = 16 }
+    storm_length = 16; silent_rate = 0. }
 
 (** Every injector class at a nonzero rate — the acceptance cocktail. *)
 let cocktail =
@@ -74,13 +81,14 @@ type t = {
   mutable n_poisoned : int;
   mutable n_interrupts : int;
   mutable n_storms : int;
+  mutable n_silent : int;
 }
 
 let create cfg =
   { cfg; rng = Random.State.make [| cfg.seed; 0x4641554C |]; storm_left = 0;
     digests = Hashtbl.create 16; corrupted = Hashtbl.create 8;
     n_translator = 0; n_bitflips = 0; n_poisoned = 0; n_interrupts = 0;
-    n_storms = 0 }
+    n_storms = 0; n_silent = 0 }
 
 let chance t p = p > 0. && Random.State.float t.rng 1. < p
 
@@ -140,6 +148,37 @@ let corrupt_tree t (page : Translate.xpage) =
     Hashtbl.replace t.corrupted page.base mode
   end
 
+(* Invert the sense of the first branch test in the page: the
+   translation still executes cleanly, writes plausible values and
+   passes every digest and datapath check — it just commits the wrong
+   path.  This is the fault class nothing below shadow verification
+   (lib/guard) can see.  Page 0 is exempt: the mini OS's vectors and
+   halt path live there, and the point is to corrupt *workload* code,
+   not the machinery that reports the exit code. *)
+let corrupt_silently t (page : Translate.xpage) =
+  if page.base >= 0x1000 then begin
+    let nv = Vec.length page.vliws in
+    let flipped = ref false in
+    let i = ref 0 in
+    while (not !flipped) && !i < nv do
+      let root = (Vec.get page.vliws !i).T.root in
+      (match root.kind with
+      | T.Branch { test; taken; fall } ->
+        root.kind <-
+          T.Branch { test = { test with sense = not test.sense }; taken; fall };
+        flipped := true
+      | T.Exit _ | T.Open -> ());
+      incr i
+    done;
+    if !flipped then begin
+      t.n_silent <- t.n_silent + 1;
+      (* re-record the digest over the corrupted tree so even the eager
+         integrity check agrees with it: the flip must be invisible to
+         everything except a shadow replay *)
+      Hashtbl.replace t.digests page.base (digest_of page)
+    end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Persistent-cache poisoning                                          *)
 
@@ -169,13 +208,14 @@ let attach t (vmm : Monitor.t) =
             t.n_translator <- t.n_translator + 1;
             raise (Injected "translator crashed")
           end);
-  if cfg.bitflip_rate > 0. then begin
+  if cfg.bitflip_rate > 0. || cfg.silent_rate > 0. then begin
     vmm.install_hook <-
       Some
         (fun page ->
           Hashtbl.replace t.digests page.base (digest_of page);
           Hashtbl.remove t.corrupted page.base;
-          if chance t cfg.bitflip_rate then corrupt_tree t page);
+          if chance t cfg.bitflip_rate then corrupt_tree t page;
+          if chance t cfg.silent_rate then corrupt_silently t page);
     (* the integrity check re-digests [`Eager] pages and catches the
        flip before execution; [`Runtime] pages are left for the
        datapath to trip over *)
@@ -220,8 +260,11 @@ let attach t (vmm : Monitor.t) =
 (** One line per class: how often each injector actually fired. *)
 let report t =
   Printf.sprintf
-    "injected: translator=%d bitflips=%d poisoned=%d interrupts=%d storms=%d"
+    "injected: translator=%d bitflips=%d poisoned=%d interrupts=%d storms=%d \
+     silent=%d"
     t.n_translator t.n_bitflips t.n_poisoned t.n_interrupts t.n_storms
+    t.n_silent
 
 let total t =
   t.n_translator + t.n_bitflips + t.n_poisoned + t.n_interrupts + t.n_storms
+  + t.n_silent

@@ -1,0 +1,34 @@
+(* Watchdog deadlines: bounded wall-clock budgets for the three ways a
+   dynamic translator can stall a production run.
+
+   - [translate_s]: per fresh page-translation unit.  An overrun throws
+     the finished translation away, takes a ladder strike and recovers
+     by interpretation (the page retries after backoff, so a transient
+     host stall heals).
+   - [compile_s]: per page staging in the closure-compiled engine
+     ({!Vliw.Compile.stage}'s [?budget]); same recovery, and no partial
+     staging is ever installed.
+   - [progress]: the runaway-loop detector — this many consecutive
+     committed VLIW boundaries at the *same* precise pc with no
+     interpretation in between quarantines the page.  Off by default:
+     a legitimate single-VLIW counted loop revisits its entry pc once
+     per iteration, so any limit must exceed the largest iteration
+     count the workload can legally run.
+
+   All three fire a typed {!Vmm.Monitor.event.Deadline} into the
+   degradation ladder rather than hanging or killing the run: the
+   interpreter is the always-correct path, so a deadline is a
+   performance event, never a correctness one. *)
+
+type config = {
+  translate_s : float option;  (** per-translation wall-clock budget *)
+  compile_s : float option;    (** per-staging wall-clock budget *)
+  progress : int option;       (** runaway-loop boundary limit *)
+}
+
+let none = { translate_s = None; compile_s = None; progress = None }
+
+let attach cfg (vmm : Vmm.Monitor.t) =
+  vmm.translate_budget <- cfg.translate_s;
+  vmm.compile_budget <- cfg.compile_s;
+  vmm.progress_limit <- cfg.progress

@@ -21,6 +21,8 @@ type t = {
       (** milliseconds to load + decode one persistent-cache entry *)
   h_compile : Metrics.Histogram.t option;
       (** milliseconds to stage one page into closures *)
+  h_checkpoint : Metrics.Histogram.t option;
+      (** milliseconds to write one supervision checkpoint *)
 }
 
 let create ?tracer ?metrics ?hotness () =
@@ -41,7 +43,14 @@ let create ?tracer ?metrics ?hotness () =
     h_tc_load =
       h "tcache_load_ms" [ 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10. ];
     h_compile =
-      h "vliw_compile_ms" [ 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10. ] }
+      h "vliw_compile_ms" [ 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10. ];
+    h_checkpoint =
+      h "checkpoint_ms" [ 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10.; 25. ] }
+
+let deadline_stage_string : Monitor.deadline_stage -> string = function
+  | Dtranslate -> "translate"
+  | Dcompile -> "compile"
+  | Dprogress -> "progress"
 
 let cross_kind_string : Monitor.cross_kind -> string = function
   | Xdirect -> "direct"
@@ -160,6 +169,23 @@ let on_event b (ev : Monitor.event) =
     trace b ~ts:cycle ~name:"vliw_compiled" ~ph:Trace.I
       [ ("page", Json.Int page); ("vliws", Json.Int vliws);
         ("ms", Json.Float (seconds *. 1000.)) ]
+  | Deadline { cycle; page; stage; seconds } ->
+    trace b ~ts:cycle ~name:"deadline" ~ph:Trace.I
+      [ ("page", Json.Int page);
+        ("stage", Json.Str (deadline_stage_string stage));
+        ("ms", Json.Float (seconds *. 1000.)) ]
+  | Shadow_divergence { cycle; page; pc; reason } ->
+    trace b ~ts:cycle ~name:"shadow_divergence" ~ph:Trace.I
+      [ ("page", Json.Int page); ("pc", Json.Int pc);
+        ("reason", Json.Str reason) ]
+  | Checkpoint_written { cycle; seq; bytes; pages; seconds } ->
+    (match b.h_checkpoint with
+    | Some h -> Metrics.Histogram.observe h (seconds *. 1000.)
+    | None -> ());
+    trace b ~ts:cycle ~name:"checkpoint" ~ph:Trace.I
+      [ ("seq", Json.Int seq); ("bytes", Json.Int bytes);
+        ("pages", Json.Int pages);
+        ("ms", Json.Float (seconds *. 1000.)) ]
 
 (** Subscribe this bridge to a VMM's event stream. *)
 let attach b (vmm : Monitor.t) = vmm.event_hook <- Some (on_event b)
@@ -206,6 +232,10 @@ let record_result m (r : Vmm.Run.result) =
   c "compiled_pages" s.compiled_pages;
   c "direct_link_hits" s.direct_link_hits;
   c "spec_log_hwm" s.spec_log_hwm;
+  c "deadline_hits" s.deadline_hits;
+  c "shadow_checked" s.shadow_checked;
+  c "shadow_divergences" s.shadow_divergences;
+  c "checkpoints_written" s.checkpoints_written;
   c "cycles_infinite" r.cycles_infinite;
   c "cycles_finite" r.cycles_finite;
   c "pages_translated" r.pages_translated;

@@ -33,6 +33,8 @@ type t = {
   dir : string;
   frontend : string;
   fingerprint : string;
+  swept_tmp : int;
+      (** orphaned temp files from a killed writer, removed at open *)
 }
 
 type probe_result =
@@ -52,7 +54,26 @@ let rec mkdir_p dir =
 
 let open_store ~dir ~frontend ~fingerprint =
   mkdir_p dir;
-  { dir; frontend; fingerprint }
+  (* A writer killed between temp-file creation and rename leaves a
+     stray *.tmp behind.  No reader ever looks at temp files, so the
+     store stays correct either way; sweeping them at open keeps a
+     crash-looped run from accumulating garbage.  The store assumes a
+     single writer per directory (one VMM per tcache dir), so a temp
+     file seen here can only be an orphan, never a concurrent write. *)
+  let swept_tmp =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> 0
+    | files ->
+      Array.fold_left
+        (fun n f ->
+          if Filename.check_suffix f ".tmp" then
+            match Sys.remove (Filename.concat dir f) with
+            | () -> n + 1
+            | exception Sys_error _ -> n
+          else n)
+        0 files
+  in
+  { dir; frontend; fingerprint; swept_tmp }
 
 (** The content-addressed key for a page: [bytes] are the page's exact
     base-architecture bytes, [base] its physical base address. *)

@@ -837,15 +837,34 @@ let rec c_sel st mem s leaves (prefix : (unit -> unit) list) nprefix
     else fun () -> invalid_arg "index out of bounds"
 (* out-of-range test field: faults like [Vstate.get_cr_tagged] *)
 
+exception Budget_exceeded of float
+(** Raised by {!stage} when a [?budget] wall-clock allowance (seconds)
+    is exhausted partway through staging a page; carries the elapsed
+    time.  No partial page escapes — the caller sees either a complete
+    staged page or this exception. *)
+
 (** Stage every tree of a page.  In-range [Tree.Next] exits are patched
     to direct closure references afterwards, so steady-state chaining
-    is one pointer dereference. *)
-let stage ~(st : Vstate.t) ~(mem : Mem.t) ~(scratch : scratch)
+    is one pointer dereference.  [budget], when given, bounds the wall
+    time staging may take: the clock is checked between trees (one tree
+    is the smallest unit of staging work), and overrunning raises
+    {!Budget_exceeded} instead of letting a pathological page stall the
+    whole run. *)
+let stage ?budget ~(st : Vstate.t) ~(mem : Mem.t) ~(scratch : scratch)
     (trees : Tree.t array) : page =
+  let t0 = Sys.time () in
+  let check_budget () =
+    match budget with
+    | Some b ->
+      let dt = Sys.time () -. t0 in
+      if dt > b then raise (Budget_exceeded dt)
+    | None -> ()
+  in
   let leaves = ref [] in
   let vliws =
     Array.mapi
       (fun i (tree : Tree.t) ->
+        check_budget ();
         { c_id = i; c_tree = tree; select = c_sel st mem scratch leaves [] 0 tree.root })
       trees
   in

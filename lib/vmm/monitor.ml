@@ -67,6 +67,12 @@ type stats = {
   mutable direct_link_hits : int;    (** on-page jumps resolved via the
                                          memoized slot, no Hashtbl *)
   mutable spec_log_hwm : int;        (** speculative-load log high water *)
+  (* --- supervision (lib/guard) --- *)
+  mutable deadline_hits : int;       (** watchdog deadlines fired *)
+  mutable shadow_checked : int;      (** committed packets shadow-verified *)
+  mutable shadow_divergences : int;  (** shadow checks that found a divergence *)
+  mutable checkpoints_written : int;
+  mutable checkpoint_seconds : float;  (** wall time spent writing checkpoints *)
 }
 
 let fresh_stats () =
@@ -80,7 +86,9 @@ let fresh_stats () =
     translator_faults = 0; exec_faults = 0; quarantines = 0;
     degrade_retries = 0; interp_pinned = 0;
     compiled_pages = 0; compile_seconds = 0.; direct_link_hits = 0;
-    spec_log_hwm = 0 }
+    spec_log_hwm = 0;
+    deadline_hits = 0; shadow_checked = 0; shadow_divergences = 0;
+    checkpoints_written = 0; checkpoint_seconds = 0. }
 
 (* --- Instrumentation interface -------------------------------------
 
@@ -147,6 +155,27 @@ type event =
       (** failure budget exhausted; page interprets forever *)
   | Vliw_compiled of { cycle : int; page : int; vliws : int; seconds : float }
       (** a page's trees were staged into closures (compiled engine) *)
+  | Deadline of {
+      cycle : int;
+      page : int;
+      stage : deadline_stage;
+      seconds : float;  (** elapsed when the deadline fired (0 for Dprogress) *)
+    }  (** a watchdog budget was exceeded; the page takes a ladder strike *)
+  | Shadow_divergence of { cycle : int; page : int; pc : int; reason : string }
+      (** a committed packet's architected effects disagreed with the
+          reference interpreter's re-execution *)
+  | Checkpoint_written of {
+      cycle : int;
+      seq : int;      (** ordinal of the checkpoint file *)
+      bytes : int;    (** file size *)
+      pages : int;    (** dirty memory pages included *)
+      seconds : float;
+    }
+
+and deadline_stage =
+  | Dtranslate  (** per-page translation wall-clock budget *)
+  | Dcompile    (** per-page staging (closure-compilation) budget *)
+  | Dprogress   (** runaway-loop detector: no commit progress in K ticks *)
 
 (* Per-page failure tracking for the degradation ladder.  A page climbs
    down the ladder one rung per failure: quarantine (translation
@@ -245,6 +274,39 @@ type t = {
           and an interpretation episode (page-fault storms) *)
   mutable tcache_persist_hook : (string -> unit) option;
       (** called with the entry's path after each persist (poisoning) *)
+  (* --- supervision (lib/guard attaches here) --- *)
+  mutable translate_budget : float option;
+      (** wall-clock allowance (seconds) per fresh page translation;
+          overruns take a ladder strike instead of being absorbed *)
+  mutable compile_budget : float option;
+      (** wall-clock allowance per page staging (compiled engine) *)
+  mutable progress_limit : int option;
+      (** runaway-loop detector: fire after this many consecutive VLIW
+          boundaries at the same precise pc with no interpretation in
+          between.  [None] (the default) disables the detector — a
+          legitimate single-VLIW counted loop revisits its entry pc
+          once per iteration, so the limit must exceed any iteration
+          count the workload can legally run. *)
+  mutable progress_pc : int;      (** detector state: last boundary pc *)
+  mutable progress_ticks : int;   (** consecutive boundaries at that pc *)
+  mutable tick_hook : (pc:int -> unit) option;
+      (** called at every committed boundary (VLIW entry, post-episode)
+          with the precise base address; the guard's checkpoint cadence
+          and termination poll live here.  May raise to unwind the run. *)
+  mutable shadow_arm : (pc:int -> unit) option;
+      (** called immediately before a VLIW executes, with its precise
+          entry pc; the shadow verifier snapshots state here when its
+          sampler selects the packet *)
+  mutable shadow_abort : (unit -> unit) option;
+      (** the armed packet did not commit (rollback or execution
+          fault); the shadow snapshot is discarded *)
+  mutable shadow_commit : (next:int -> int option) option;
+      (** the armed packet committed and control is about to move to
+          base address [next].  Returns [None] to continue normally, or
+          [Some pc] after a detected divergence: state has been repaired
+          to the pre-packet snapshot and the VMM must re-execute from
+          [pc] (the page has been given a ladder strike, so it will be
+          interpreted) *)
 }
 
 (** The VMM's clock: VLIW cycles plus interpreted instructions. *)
@@ -407,7 +469,10 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
       backoff_base = 256;
       translate_hook = None; install_hook = None; page_check = None;
       boundary_hook = None; prefault_hook = None;
-      tcache_persist_hook = None }
+      tcache_persist_hook = None;
+      translate_budget = None; compile_budget = None; progress_limit = None;
+      progress_pc = -1; progress_ticks = 0; tick_hook = None;
+      shadow_arm = None; shadow_abort = None; shadow_commit = None }
   in
   (* feed run-time register values to the translator's guarded inlining
      of indirect branches (Chapter 6) *)
@@ -541,6 +606,10 @@ exception Out_of_fuel
 exception Deliver of int
 (** internal: unwind to the driver and resume at an interrupt vector *)
 
+exception Translate_deadline of float
+(** internal: a fresh translation finished but blew its wall-clock
+    budget; carries the elapsed seconds *)
+
 (* --- Degradation ladder --------------------------------------------
 
    Any failure during translation or translated execution must not take
@@ -589,6 +658,43 @@ let record_failure t base =
         { cycle = now t; page = base; failures = h.failures;
           until = h.backoff_until })
 
+(* One committed VLIW boundary: feed the runaway-loop detector and the
+   supervision tick hook.  The detector counts consecutive boundaries
+   that re-enter the *same* precise pc without any interpretation in
+   between; [progress_limit] strikes in a row means translated code is
+   spinning without committing past this point (e.g. a miscompiled
+   backward branch), so the page is quarantined and the caller must
+   recover by interpretation — the always-correct path — instead of
+   dispatching the same loop again.  Returns [true] when it fired. *)
+let boundary_tick t ~pc =
+  let fired =
+    match t.progress_limit with
+    | None -> false
+    | Some k ->
+      if pc = t.progress_pc then begin
+        t.progress_ticks <- t.progress_ticks + 1;
+        if t.progress_ticks >= k then begin
+          t.progress_ticks <- 0;
+          t.progress_pc <- -1;
+          t.stats.deadline_hits <- t.stats.deadline_hits + 1;
+          emit t (fun () ->
+              Deadline
+                { cycle = now t; page = t.current_page; stage = Dprogress;
+                  seconds = 0. });
+          record_failure t t.current_page;
+          true
+        end
+        else false
+      end
+      else begin
+        t.progress_pc <- pc;
+        t.progress_ticks <- 0;
+        false
+      end
+  in
+  (match t.tick_hook with Some f -> f ~pc | None -> ());
+  fired
+
 (* Stage (or re-stage) the closure-compiled form of [page], lazily on
    first dispatch.  Staleness is physical identity plus tree count:
    invalidation replaces the xpage object in [tr.pages], and an
@@ -601,7 +707,10 @@ let compiled_for t (page : Translate.xpage) : C.page =
   | _ ->
     let t0 = Sys.time () in
     let trees = Array.init (Vec.length page.vliws) (Vec.get page.vliws) in
-    let cp = C.stage ~st:t.st ~mem:t.mem ~scratch:t.cscratch trees in
+    let cp =
+      C.stage ?budget:t.compile_budget ~st:t.st ~mem:t.mem ~scratch:t.cscratch
+        trees
+    in
     let seconds = Sys.time () -. t0 in
     t.stats.compiled_pages <- t.stats.compiled_pages + 1;
     t.stats.compile_seconds <- t.stats.compile_seconds +. seconds;
@@ -668,7 +777,13 @@ let run t ~entry ~fuel =
            | None -> ());
            emit t (fun () ->
                Translate_begin { cycle = now t; page = base; entry = addr });
+           let tb0 = Sys.time () in
            let res = Translate.entry t.tr addr in
+           (match t.translate_budget with
+           | Some b ->
+             let dt = Sys.time () -. tb0 in
+             if dt > b then raise (Translate_deadline dt)
+           | None -> ());
            emit t (fun () ->
                Translate_end
                  { cycle = now t; page = base; entry = addr;
@@ -680,6 +795,15 @@ let run t ~entry ~fuel =
          end
        with
       | exception ((Mem.Halted _ | Out_of_fuel | Deliver _) as e) -> raise e
+      | exception Translate_deadline seconds ->
+        (* the translation completed but blew its wall-clock budget:
+           throw the work away and quarantine the page, exactly like a
+           translator fault — the ladder decides when to retry *)
+        stats.deadline_hits <- stats.deadline_hits + 1;
+        emit t (fun () ->
+            Deadline { cycle = now t; page = base; stage = Dtranslate; seconds });
+        record_failure t base;
+        recover_at addr
       | exception exn ->
         (* the translator (or an injected fault) blew up: no translated
            state exists for this page, so interpretation covers it *)
@@ -720,6 +844,15 @@ let run t ~entry ~fuel =
       match compiled_for t page with
       | cp -> exec_c page cp (C.get cp id)
       | exception ((Mem.Halted _ | Out_of_fuel | Deliver _) as e) -> raise e
+      | exception C.Budget_exceeded seconds ->
+        (* staging blew its wall-clock budget: no partial page was
+           installed, so quarantine and recover by interpretation *)
+        stats.deadline_hits <- stats.deadline_hits + 1;
+        emit t (fun () ->
+            Deadline
+              { cycle = now t; page = page.base; stage = Dcompile; seconds });
+        record_failure t page.base;
+        recover_at (Vec.get page.vliws id).precise_entry
       | exception _ ->
         (* staging itself blew up (structurally corrupt tree): the
            interpretive walker owns error containment for this page *)
@@ -764,17 +897,34 @@ let run t ~entry ~fuel =
       t.resume_pc <- next;
       raise Out_of_fuel
     end;
+    (* interpretation is guaranteed architected progress: reset the
+       runaway detector and tick the supervisor at this boundary *)
+    t.progress_pc <- -1;
+    t.progress_ticks <- 0;
+    (match t.tick_hook with Some f -> f ~pc:next | None -> ());
     goto_base next
+  and commit_ck ~next =
+    (* shadow verification: the packet that just committed is checked
+       against the reference interpreter.  [Some pc] means a divergence
+       was found and repaired back to the pre-packet snapshot — resume
+       there by interpretation. *)
+    match t.shadow_commit with None -> None | Some f -> f ~next
   and exec_at (page : Translate.xpage) id =
     decr fuel_left;
+    let vliw = Vec.get page.vliws id in
     if !fuel_left <= 0 then begin
-      t.resume_pc <- (Vec.get page.vliws id).precise_entry;
+      t.resume_pc <- vliw.precise_entry;
       raise Out_of_fuel
     end;
-    if (match t.prefault_hook with Some f -> f () | None -> false) then begin
+    if
+      (match (t.tick_hook, t.progress_limit) with
+      | None, None -> false
+      | _ -> boundary_tick t ~pc:vliw.precise_entry)
+    then recover_at vliw.precise_entry
+    else if (match t.prefault_hook with Some f -> f () | None -> false)
+    then begin
       (* injected page-fault storm: the VLIW appears not to have
          executed, exactly like a real access fault *)
-      let vliw = Vec.get page.vliws id in
       stats.rollbacks <- stats.rollbacks + 1;
       emit t (fun () ->
           Rolled_back { cycle = now t; pc = vliw.precise_entry; kind = RbFault });
@@ -807,11 +957,11 @@ let run t ~entry ~fuel =
         raise (Deliver t.st.m.pc)
       end
     | None -> ());
-    let vliw = Vec.get page.vliws id in
     if vliw.is_entry then spec_clear t;
     (match t.fetch_hook with
     | Some f -> f ~addr:(Vec.get page.addrs id) ~size:(Vec.get page.sizes id)
     | None -> ());
+    (match t.shadow_arm with Some f -> f ~pc:vliw.precise_entry | None -> ());
     stats.vliws <- stats.vliws + 1;
     match Exec.run t.st t.mem ~alias_check:(alias_check t) vliw with
     | exception Exec.Error reason -> exec_fault_at vliw.precise_entry reason
@@ -833,20 +983,26 @@ let run t ~entry ~fuel =
          then happens inside the interpretation episode, where the
          memory hook invalidates the page before re-entry *)
       (match exit with
-        | T.Next id' -> exec_at page id'
+        | T.Next id' -> (
+          match commit_ck ~next:(Vec.get page.vliws id').precise_entry with
+          | Some p -> recover_at p
+          | None -> exec_at page id')
         | T.OnPage off -> (
           stats.onpage_jumps <- stats.onpage_jumps + 1;
-          match Hashtbl.find_opt page.entries off with
-          | Some id' ->
-            spec_clear t;
-            exec_at page id'
-          | None ->
-            (* invalid entry exception *)
-            emit t (fun () ->
-                Cross_page
-                  { cycle = now t; kind = Xinvalid_entry;
-                    target = page.base + off });
-            goto_base (page.base + off))
+          match commit_ck ~next:(page.base + off) with
+          | Some p -> recover_at p
+          | None -> (
+            match Hashtbl.find_opt page.entries off with
+            | Some id' ->
+              spec_clear t;
+              exec_at page id'
+            | None ->
+              (* invalid entry exception *)
+              emit t (fun () ->
+                  Cross_page
+                    { cycle = now t; kind = Xinvalid_entry;
+                      target = page.base + off });
+              goto_base (page.base + off)))
         | T.OffPage a -> exit_offpage a
         | T.Indirect (loc, kind) -> exit_indirect vliw.precise_entry loc kind
         | T.Trap tr -> exit_trap tr)
@@ -858,6 +1014,7 @@ let run t ~entry ~fuel =
     (* malformed VLIW (corruption, translator bug): no write was
        applied, so the precise entry state is intact — quarantine the
        page and redo these instructions by interpretation *)
+    (match t.shadow_abort with Some f -> f () | None -> ());
     stats.exec_faults <- stats.exec_faults + 1;
     emit t (fun () ->
         Exec_fault { cycle = now t; page = t.current_page; pc = precise; reason });
@@ -865,6 +1022,7 @@ let run t ~entry ~fuel =
     record_failure t t.current_page;
     recover_at precise
   and rolled_back_at precise (reason : Exec.reason) =
+    (match t.shadow_abort with Some f -> f () | None -> ());
     stats.rollbacks <- stats.rollbacks + 1;
     emit t (fun () ->
         let kind =
@@ -906,7 +1064,9 @@ let run t ~entry ~fuel =
   and exit_offpage a =
     stats.cross_direct <- stats.cross_direct + 1;
     emit t (fun () -> Cross_page { cycle = now t; kind = Xdirect; target = a });
-    goto_base a
+    match commit_ck ~next:a with
+    | Some p -> recover_at p
+    | None -> goto_base a
   and exit_indirect precise loc kind =
     (match kind with
     | `Lr -> stats.cross_lr <- stats.cross_lr + 1
@@ -914,31 +1074,39 @@ let run t ~entry ~fuel =
     | `Gpr -> stats.cross_gpr <- stats.cross_gpr + 1);
     let v, tag = Vliw.Vstate.get t.st loc in
     match tag with
-    | Vliw.Vstate.Clean ->
+    | Vliw.Vstate.Clean -> (
       emit t (fun () ->
           let xkind =
             match kind with `Lr -> Xlr | `Ctr -> Xctr | `Gpr -> Xgpr
           in
           Cross_page { cycle = now t; kind = xkind; target = v land lnot 1 });
-      goto_base (v land lnot 1)
+      match commit_ck ~next:(v land lnot 1) with
+      | Some p -> recover_at p
+      | None -> goto_base (v land lnot 1))
     | _ ->
       (* cannot branch on a tagged value: recover precisely *)
+      (match t.shadow_abort with Some f -> f () | None -> ());
       stats.rollbacks <- stats.rollbacks + 1;
       emit t (fun () ->
           Rolled_back { cycle = now t; pc = precise; kind = RbTagged_target });
       recover_at precise
   and exit_trap tr =
     match tr with
-    | T.Tsc next ->
+    | T.Tsc next -> (
       stats.syscalls <- stats.syscalls + 1;
       emit t (fun () -> Syscall_trap { cycle = now t; next });
       Interp.interrupt t.st.m ~return_pc:next Interp.Vector.syscall;
-      goto_base t.st.m.pc
-    | T.Trfi ->
+      match commit_ck ~next:t.st.m.pc with
+      | Some p -> recover_at p
+      | None -> goto_base t.st.m.pc)
+    | T.Trfi -> (
       let m = t.st.m in
       m.msr <- m.srr1;
+      let target = m.srr0 land lnot 3 in
       (* interpret briefly after rfi, as Section 3.4 prescribes *)
-      recover_at (m.srr0 land lnot 3)
+      match commit_ck ~next:target with
+      | Some p -> recover_at p
+      | None -> recover_at target)
     | T.Tillegal a ->
       (* The translator could not crack the word at [a] — but that
          conflates two architecturally distinct cases: an illegal
@@ -948,7 +1116,7 @@ let run t ~entry ~fuel =
          fuzzer: a branch to an unmapped absolute address raised a
          program interrupt here where the base architecture takes
          an instruction-storage interrupt. *)
-      recover_at a
+      (match commit_ck ~next:a with Some p -> recover_at p | None -> recover_at a)
   (* --- the staged (closure-compiled) engine: one [exec_c] per VLIW,
      mirroring [exec_at] step for step, with intra-page control flow
      direct-linked through the staged exits. *)
@@ -959,7 +1127,13 @@ let run t ~entry ~fuel =
       t.resume_pc <- precise;
       raise Out_of_fuel
     end;
-    if (match t.prefault_hook with Some f -> f () | None -> false) then begin
+    if
+      (match (t.tick_hook, t.progress_limit) with
+      | None, None -> false
+      | _ -> boundary_tick t ~pc:precise)
+    then recover_at precise
+    else if (match t.prefault_hook with Some f -> f () | None -> false)
+    then begin
       (* injected page-fault storm: the VLIW appears not to have
          executed, exactly like a real access fault *)
       stats.rollbacks <- stats.rollbacks + 1;
@@ -995,6 +1169,7 @@ let run t ~entry ~fuel =
     | Some f ->
       f ~addr:(Vec.get page.addrs cv.c_id) ~size:(Vec.get page.sizes cv.c_id)
     | None -> ());
+    (match t.shadow_arm with Some f -> f ~pc:precise | None -> ());
     stats.vliws <- stats.vliws + 1;
     match C.exec_vliw cp cv ~alias_check:(alias_check_c t) with
     | exception Exec.Error reason -> exec_fault_at precise reason
@@ -1025,29 +1200,39 @@ let run t ~entry ~fuel =
               store = s.a_store.(i) }
         done);
       (match leaf.exit with
-      | C.Cnext cv' -> exec_c page cp cv'
-      | C.Cnext_id id' -> exec_c page cp (C.get cp id')
+      | C.Cnext cv' -> (
+        match commit_ck ~next:cv'.c_tree.precise_entry with
+        | Some p -> recover_at p
+        | None -> exec_c page cp cv')
+      | C.Cnext_id id' -> (
+        let cv' = C.get cp id' in
+        match commit_ck ~next:cv'.c_tree.precise_entry with
+        | Some p -> recover_at p
+        | None -> exec_c page cp cv')
       | C.Conpage link -> (
         stats.onpage_jumps <- stats.onpage_jumps + 1;
-        if link.l_entry >= 0 then begin
-          (* steady state: the memoized slot, no Hashtbl probe *)
-          stats.direct_link_hits <- stats.direct_link_hits + 1;
-          spec_clear t;
-          exec_c page cp (C.get cp link.l_entry)
-        end
-        else
-          match Hashtbl.find_opt page.entries link.l_off with
-          | Some id' ->
-            link.l_entry <- id';
+        match commit_ck ~next:(page.base + link.l_off) with
+        | Some p -> recover_at p
+        | None ->
+          if link.l_entry >= 0 then begin
+            (* steady state: the memoized slot, no Hashtbl probe *)
+            stats.direct_link_hits <- stats.direct_link_hits + 1;
             spec_clear t;
-            exec_c page cp (C.get cp id')
-          | None ->
-            (* invalid entry exception *)
-            emit t (fun () ->
-                Cross_page
-                  { cycle = now t; kind = Xinvalid_entry;
-                    target = page.base + link.l_off });
-            goto_base (page.base + link.l_off))
+            exec_c page cp (C.get cp link.l_entry)
+          end
+          else (
+            match Hashtbl.find_opt page.entries link.l_off with
+            | Some id' ->
+              link.l_entry <- id';
+              spec_clear t;
+              exec_c page cp (C.get cp id')
+            | None ->
+              (* invalid entry exception *)
+              emit t (fun () ->
+                  Cross_page
+                    { cycle = now t; kind = Xinvalid_entry;
+                      target = page.base + link.l_off });
+              goto_base (page.base + link.l_off)))
       | C.Coffpage a -> exit_offpage a
       | C.Cindirect (loc, kind) -> exit_indirect precise loc kind
       | C.Ctrap tr -> exit_trap tr)

@@ -35,6 +35,7 @@ type result = {
   code_bytes : int;        (** total translated code *)
   pages_translated : int;
   insns_translated : int;  (** translation work, incl. re-scheduling *)
+  console : string;        (** guest console output of the DAISY run *)
 }
 
 (** Run the reference interpreter only. *)
@@ -71,21 +72,27 @@ let mem_equal ~ignore_mem (a : Bytes.t) (b : Bytes.t) =
     (partially) falling back to interpretation. *)
 let degraded (s : Monitor.stats) =
   s.translator_faults > 0 || s.exec_faults > 0 || s.quarantines > 0
-  || s.interp_pinned > 0
+  || s.interp_pinned > 0 || s.deadline_hits > 0 || s.shadow_divergences > 0
 
-(** [run ?params ?engine ?hierarchy ?instrument ?tcache_dir ?ignore_mem w]
-    executes [w] under DAISY and returns the full set of measurements.
-    [engine] selects the VLIW execution engine (tree walker or staged
-    closures; defaults to {!Monitor.create}'s default).  [instrument]
-    is called with the freshly-created VMM before execution starts, so
-    observability sinks can attach to {!Monitor.t.event_hook}.
-    [tcache_dir] enables the persistent translation cache there.
-    [ignore_mem] lists word addresses excluded from the differential
-    memory comparison (interrupt counters under injected interrupts).
-    Raises {!Mismatch} if the translated execution diverges from the
-    reference interpreter in any observable way. *)
-let run ?(params = Params.default) ?engine ?hierarchy ?instrument ?tcache_dir
-    ?(ignore_mem = []) (w : Workloads.Wl.t) =
+(** [run ?params ?engine ?hierarchy ?instrument ?prepare ?tcache_dir
+    ?ignore_mem w] executes [w] under DAISY and returns the full set of
+    measurements.  [engine] selects the VLIW execution engine (tree
+    walker or staged closures; defaults to {!Monitor.create}'s default).
+    [instrument] is called with the freshly-created VMM before execution
+    starts, so observability sinks can attach to
+    {!Monitor.t.event_hook}.  [prepare] runs after instrumentation and
+    may override the start point: returning [Some (entry, fuel)] makes
+    the run continue from a restored mid-run state (checkpoint resume)
+    instead of the workload's entry — the reference run is unaffected,
+    so the differential verification at the end still checks the
+    *complete* execution's architected effects.  [tcache_dir] enables
+    the persistent translation cache there.  [ignore_mem] lists word
+    addresses excluded from the differential memory comparison
+    (interrupt counters under injected interrupts).  Raises {!Mismatch}
+    if the translated execution diverges from the reference interpreter
+    in any observable way. *)
+let run ?(params = Params.default) ?engine ?hierarchy ?instrument ?prepare
+    ?tcache_dir ?(ignore_mem = []) (w : Workloads.Wl.t) =
   let rcode, rst, rmem, it = reference w in
   let mem, entry = Workloads.Wl.instantiate w in
   let vmm = Monitor.create ~params ?engine ?tcache_dir mem in
@@ -116,7 +123,13 @@ let run ?(params = Params.default) ?engine ?hierarchy ?instrument ?tcache_dir
               if a.store then incr store_misses else incr load_misses;
             stall := !stall + cycles)));
   (match instrument with Some f -> f vmm | None -> ());
-  let dcode = Monitor.run vmm ~entry ~fuel:(w.fuel * 2) in
+  let entry, fuel =
+    match prepare with
+    | None -> (entry, w.fuel * 2)
+    | Some f -> (
+      match f vmm with None -> (entry, w.fuel * 2) | Some ef -> ef)
+  in
+  let dcode = Monitor.run vmm ~entry ~fuel in
   if rcode <> dcode then
     raise (Mismatch (Printf.sprintf "%s: exit %s vs %s" w.name
                        (match rcode with Some c -> string_of_int c | None -> "fuel")
@@ -169,4 +182,5 @@ let run ?(params = Params.default) ?engine ?hierarchy ?instrument ?tcache_dir
     totals = vmm.tr.totals;
     code_bytes = vmm.tr.totals.code_bytes;
     pages_translated = vmm.tr.totals.pages;
-    insns_translated = vmm.tr.totals.insns }
+    insns_translated = vmm.tr.totals.insns;
+    console = Mem.output mem }

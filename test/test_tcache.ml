@@ -532,6 +532,71 @@ let test_warm_counts_skipped () =
     (warm.pages_translated >= 1);
   ignore (Store.clear_dir dir)
 
+(* A missing or never-populated cache directory is an empty cache, not
+   an error: every directory tool reports empty, and the CLI (which
+   builds on them) exits 0.  Regression test for `daisy tcache stats`
+   on a directory that does not exist. *)
+let test_missing_dir_is_empty () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "daisy_test_tcache_missing.%d" (Unix.getpid ()))
+  in
+  (* the directory must NOT exist *)
+  Alcotest.(check bool) "precondition" false (Sys.file_exists dir);
+  Alcotest.(check (list string)) "ls: no entries" []
+    (List.map (fun (i : Store.info) -> i.key) (Store.list_dir dir));
+  Alcotest.(check (list string)) "no strays" [] (Store.stray_files dir);
+  Alcotest.(check (pair int int)) "clear: nothing to do" (0, 0)
+    (Store.clear_dir dir);
+  Alcotest.(check bool) "tools did not create it" false (Sys.file_exists dir);
+  (* the CLI itself: every subcommand exits 0 on the missing dir (the
+     binary is a declared test dependency, built next to this suite) *)
+  let daisy =
+    Filename.concat
+      (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+      "daisy.exe"
+  in
+  Alcotest.(check bool) "daisy binary present" true (Sys.file_exists daisy);
+  List.iter
+    (fun sub ->
+      Alcotest.(check int)
+        ("daisy tcache " ^ sub ^ " exits 0")
+        0
+        (Sys.command
+           (Filename.quote_command daisy ~stdout:Filename.null
+              [ "tcache"; sub; dir ])))
+    [ "stats"; "ls"; "clear" ]
+
+(* A writer killed between temp-file creation and rename leaves an
+   orphaned *.tmp; opening the store sweeps them, leaving real entries
+   and foreign files alone. *)
+let test_open_sweeps_orphan_tmp () =
+  let dir = fresh_dir () in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  let _, page = translated_page "wc" in
+  let k = Store.key store ~base:page.base "bytes" in
+  ignore (Store.persist store ~key:k page ~spec_inhibited:false);
+  let touch name =
+    Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc "torn")
+  in
+  touch ".tcache-orphan-a.tmp";
+  touch ".tcache-orphan-b.tmp";
+  touch "README";
+  let store2 = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  Alcotest.(check int) "orphans swept" 2 store2.swept_tmp;
+  Alcotest.(check bool) "no temp files left" false
+    (Array.exists
+       (fun f -> Filename.check_suffix f ".tmp")
+       (Sys.readdir dir));
+  (match Store.probe store2 ~key:k with
+  | `Hit _ -> ()
+  | _ -> Alcotest.fail "real entry lost in the sweep");
+  Alcotest.(check (list string)) "foreign file untouched" [ "README" ]
+    (Store.stray_files dir);
+  Sys.remove (Filename.concat dir "README");
+  ignore (Store.clear_dir dir)
+
 let () =
   Alcotest.run "tcache"
     [ ( "codec",
@@ -546,7 +611,11 @@ let () =
             test_store_detects_corruption;
           Alcotest.test_case "spec flag" `Quick
             test_spec_inhibited_flag_roundtrip;
-          Alcotest.test_case "skips junk" `Quick test_store_skips_junk ] );
+          Alcotest.test_case "skips junk" `Quick test_store_skips_junk;
+          Alcotest.test_case "missing dir is empty" `Quick
+            test_missing_dir_is_empty;
+          Alcotest.test_case "open sweeps orphan tmp" `Quick
+            test_open_sweeps_orphan_tmp ] );
       ( "warm start",
         [ Alcotest.test_case "registry" `Slow test_warm_start_registry;
           Alcotest.test_case "corrupt entry" `Quick

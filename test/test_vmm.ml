@@ -199,6 +199,25 @@ let test_console_via_syscall () =
   Alcotest.(check bool) "syscalls trapped from translated code" true
     (vmm.stats.syscalls >= 1)
 
+(* Hang semantics: when the reference and the translated run both
+   exhaust their fuel, there is no verification point — the executions
+   were cut at unrelated places — so [Run.run] reports [None] instead
+   of raising [Mismatch] on their incomparable intermediate states. *)
+let test_hang_semantics () =
+  let spin =
+    { Workloads.Wl.name = "spin"; description = "infinite loop (hang test)";
+      build =
+        (fun a ->
+          Ppc.Asm.label a "main";
+          Ppc.Asm.b a "main");
+      init = (fun _ _ -> ());
+      mem_size = Workloads.Wl.default_mem_size; fuel = 5_000 }
+  in
+  let r = Run.run spin in
+  Alcotest.(check (option int)) "both sides out of fuel" None r.exit_code;
+  Alcotest.(check bool) "hang is not degradation" false
+    (Run.degraded r.stats)
+
 let () =
   Alcotest.run "vmm"
     [ ( "workloads",
@@ -229,4 +248,5 @@ let () =
             test_translation_work_is_bounded;
           Alcotest.test_case "cast-out pool" `Quick test_castout_pool;
           Alcotest.test_case "itlb" `Quick test_itlb_counts;
-          Alcotest.test_case "console via syscall" `Quick test_console_via_syscall ] ) ]
+          Alcotest.test_case "console via syscall" `Quick test_console_via_syscall;
+          Alcotest.test_case "hang semantics" `Quick test_hang_semantics ] ) ]
