@@ -220,6 +220,75 @@ let checkpoint_series () =
         ("workloads", J.Arr rows) ],
     mean_default )
 
+(* Observability-overhead series: what the always-on flight recorder
+   costs.  Each registry workload runs bare and with the full recorder
+   stack (flight ring + region profile fed through the bridge, exactly
+   what a default [daisy run] attaches), interleaved best-of-N, and the
+   row reports the fractional slowdown per base instruction.  This is
+   the number that justifies "always-on": it has to stay small. *)
+let obs_overhead_series () =
+  print_newline ();
+  print_endline "Observability overhead: flight recorder off vs on";
+  print_endline "-------------------------------------------------";
+  let module J = Obs.Json in
+  let minimum l = List.fold_left min infinity l in
+  let time_run (w : Workloads.Wl.t) attach =
+    let mem, entry = Workloads.Wl.instantiate w in
+    let vmm = Vmm.Monitor.create mem in
+    attach vmm;
+    let t0 = Unix.gettimeofday () in
+    ignore (Vmm.Monitor.run vmm ~entry ~fuel:(w.fuel * 2));
+    Unix.gettimeofday () -. t0
+  in
+  let reps = 7 in
+  let overheads = ref [] in
+  let rows =
+    List.map
+      (fun (w : Workloads.Wl.t) ->
+        let _, _, _, it = Vmm.Run.reference w in
+        let base = float_of_int (max 1 it.Ppc.Interp.icount) in
+        let plain = ref [] and recorded = ref [] in
+        let events = ref 0 in
+        for _ = 1 to reps do
+          (* interleaved, like the checkpoint series: host-load drift
+             hits both sides equally *)
+          plain := time_run w (fun _ -> ()) :: !plain;
+          let flight = Obs.Flight.create () in
+          let profile =
+            Obs.Profile.create
+              ~page_size:Translator.Params.default.page_size ()
+          in
+          let bridge = Obs.Bridge.create ~profile ~flight () in
+          recorded :=
+            time_run w (fun vmm -> Obs.Bridge.attach bridge vmm)
+            :: !recorded;
+          events := Obs.Flight.total flight
+        done;
+        let plain_ns = minimum !plain *. 1e9 /. base in
+        let rec_ns = minimum !recorded *. 1e9 /. base in
+        let overhead = (rec_ns -. plain_ns) /. plain_ns in
+        overheads := overhead :: !overheads;
+        Printf.printf
+          "%-10s %7.1f -> %7.1f ns/insn   %+6.1f%%   %d events through the ring\n"
+          w.name plain_ns rec_ns (overhead *. 100.) !events;
+        J.Obj
+          [ ("name", J.Str w.name);
+            ("base_insns", J.Int it.Ppc.Interp.icount);
+            ("plain_ns_per_base_insn", J.Float plain_ns);
+            ("recorder_ns_per_base_insn", J.Float rec_ns);
+            ("overhead_frac", J.Float overhead);
+            ("events_recorded", J.Int !events) ])
+      Workloads.Registry.all
+  in
+  let mean =
+    match !overheads with
+    | [] -> 0.
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  Printf.printf "mean recorder overhead: %+.1f%%\n" (mean *. 100.);
+  (J.Obj [ ("overhead_frac_mean", J.Float mean); ("workloads", J.Arr rows) ],
+   mean)
+
 (* Host-throughput series: wall-clock speed of the two VLIW execution
    engines over the whole registry.  This is the fleet-migration metric
    — nanoseconds of host time per emulated base instruction — measured
@@ -364,9 +433,15 @@ let write_bench_json path micro =
       Printf.printf "checkpoint series skipped: %s\n" (Printexc.to_string e);
       (J.Null, 0.)
   in
+  let obs_overhead, mean_obs_overhead =
+    try obs_overhead_series ()
+    with e ->
+      Printf.printf "obs-overhead series skipped: %s\n" (Printexc.to_string e);
+      (J.Null, 0.)
+  in
   let j =
     J.Obj
-      [ ("schema", J.Str "daisy-bench-v4");
+      [ ("schema", J.Str "daisy-bench-v5");
         ("workloads", J.Arr (List.map workload ws));
         ("mean_ilp_inf", J.Float mean_ilp);
         ("translator", translator);
@@ -374,7 +449,9 @@ let write_bench_json path micro =
         ("host_throughput", host_throughput);
         ("mean_engine_speedup", J.Float mean_speedup);
         ("checkpoint", checkpoint);
-        ("checkpoint_overhead_default_mean", J.Float mean_ck_overhead) ]
+        ("checkpoint_overhead_default_mean", J.Float mean_ck_overhead);
+        ("obs_overhead", obs_overhead);
+        ("obs_overhead_frac_mean", J.Float mean_obs_overhead) ]
   in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> J.to_channel oc j);

@@ -222,6 +222,43 @@ let with_out path f =
 
 let write_json path j = with_out path (fun oc -> Obs.Json.to_channel oc j)
 
+(* Fail fast on unwritable output paths: a long run must not discover
+   only at the end that its results have nowhere to go.  Probed before
+   the run starts; a clear message and usage-error exit, not a raw
+   [Sys_error] backtrace. *)
+let check_writable_file what path =
+  match open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path with
+  | oc -> close_out_noerr oc
+  | exception Sys_error msg ->
+    Printf.eprintf "daisy: %s path is not writable: %s\n" what msg;
+    exit 2
+
+let check_writable_dir what dir =
+  match
+    Tcache.Store.mkdir_p dir;
+    let probe = Filename.temp_file ~temp_dir:dir ".probe" ".tmp" in
+    Sys.remove probe
+  with
+  | () -> ()
+  | exception Sys_error msg ->
+    Printf.eprintf "daisy: %s directory %s is not writable: %s\n" what dir msg;
+    exit 2
+
+(* The profile store's key: the workload image (name, entry point, the
+   exact memory bytes after [instantiate]) plus the page size, which is
+   the one translation parameter that changes the *shape* of the edge
+   graph rather than its weights.  Scheduling parameters deliberately do
+   not participate — heat accumulates across window/config sweeps. *)
+let image_fingerprint (w : Workloads.Wl.t) ~page_size =
+  let mem, entry = Workloads.Wl.instantiate w in
+  Printf.sprintf "%s:%s:0x%x:%d" w.name
+    (Digest.to_hex (Digest.bytes mem.bytes))
+    entry page_size
+
+let profile_store (w : Workloads.Wl.t) ~dir ~page_size =
+  Obs.Pstore.open_store ~dir ~frontend:"ppc"
+    ~fingerprint:(image_fingerprint w ~page_size)
+
 let trace_format_conv = Arg.enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]
 
 let list_cmd =
@@ -278,22 +315,74 @@ let run_cmd =
                    staged into closures with direct-linked dispatch) or \
                    $(b,tree) (the interpretive tree walker).")
   in
+  let profile_dir =
+    Arg.(value & opt (some string) None
+         & info [ "profile-dir" ] ~docv:"DIR"
+             ~doc:"Accumulate this run's region profile into the persistent \
+                   store at $(docv); repeated runs merge (counts sum), and \
+                   $(b,daisy profile) reads the result.")
+  in
+  let crash_dump_dir =
+    Arg.(value & opt string "daisy-crash"
+         & info [ "crash-dump-dir" ] ~docv:"DIR"
+             ~doc:"Where the flight recorder writes crash dumps on \
+                   divergence, watchdog strike, quarantine, mismatch or \
+                   SIGTERM (created only when a dump happens).")
+  in
+  let no_flight =
+    Arg.(value & flag
+         & info [ "no-flight" ]
+             ~doc:"Disable the always-on flight recorder (no crash dumps).")
+  in
+  let flight_cap =
+    Arg.(value & opt int Obs.Flight.default_capacity
+         & info [ "flight-cap" ] ~docv:"N"
+             ~doc:"Flight-recorder ring capacity: a crash dump's event tail \
+                   keeps the last $(docv) events.")
+  in
   let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
   let run (w : Workloads.Wl.t) params engine finite trace_out trace_format
-      trace_cap metrics_out tcache_dir faults guard =
+      trace_cap metrics_out tcache_dir profile_dir crash_dump_dir no_flight
+      flight_cap faults guard =
     if trace_cap <= 0 then begin
       Printf.eprintf "daisy: --trace-cap must be positive\n";
       exit 2
     end;
+    if flight_cap <= 0 then begin
+      Printf.eprintf "daisy: --flight-cap must be positive\n";
+      exit 2
+    end;
+    (* probe every output destination before burning cycles on the run *)
+    Option.iter (check_writable_file "--trace-out") trace_out;
+    Option.iter (check_writable_file "--metrics-out") metrics_out;
+    Option.iter (check_writable_dir "--profile-dir") profile_dir;
     let hierarchy = if finite then Some (Memsys.Hierarchy.paper_24issue ()) else None in
     let tracer =
       Option.map (fun _ -> Obs.Trace.create ~capacity:trace_cap ()) trace_out
     in
     let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
+    let flight =
+      if no_flight then None
+      else Some (Obs.Flight.create ~capacity:flight_cap ~dir:crash_dump_dir ())
+    in
+    (* the region profile feeds both the persistent store and the crash
+       dump's region graph, so it runs whenever either consumer does *)
+    let profile =
+      if profile_dir <> None || Option.is_some flight then
+        Some (Obs.Profile.create ~page_size:params.Params.page_size ())
+      else None
+    in
+    (* open (and sweep) the store up front: a stale temp file from a
+       killed writer is cleaned before this run adds its own *)
+    let pstore =
+      Option.map
+        (fun dir -> profile_store w ~dir ~page_size:params.Params.page_size)
+        profile_dir
+    in
     let bridge =
-      match (tracer, metrics) with
-      | None, None -> None
-      | _ -> Some (Obs.Bridge.create ?tracer ?metrics ())
+      match (tracer, metrics, profile, flight) with
+      | None, None, None, None -> None
+      | _ -> Some (Obs.Bridge.create ?tracer ?metrics ?profile ?flight ())
     in
     let inject = Option.map Fault.Inject.create faults in
     let watchdog =
@@ -310,6 +399,9 @@ let run_cmd =
     let supervised =
       guard.g_checkpoint_dir <> None || shadow <> None
       || watchdog <> Guard.Watchdog.none
+      (* a flight recorder rides the supervision stack too, for the
+         SIGTERM-boundary dump *)
+      || Option.is_some flight
     in
     if guard.g_checkpoint_dir <> None then Guard.Supervise.install_sigterm ();
     let instrument =
@@ -323,7 +415,7 @@ let run_cmd =
             if supervised then
               ignore
                 (Guard.Supervise.attach ?checkpoint_dir:guard.g_checkpoint_dir
-                   ~checkpoint_every:guard.g_every ~watchdog ?shadow
+                   ~checkpoint_every:guard.g_every ~watchdog ?shadow ?flight
                    ~workload:w.name vmm))
     in
     (* a transparent injected interrupt leaves exactly one architected
@@ -341,6 +433,12 @@ let run_cmd =
         (* differential verification against the reference interpreter
            failed: a correctness bug, never a measurement detail *)
         Printf.eprintf "daisy: verification failed: %s\n" msg;
+        (match flight with
+        | Some f ->
+          (match Obs.Flight.dump f ~reason:"mismatch" with
+          | Some path -> Printf.eprintf "daisy: crash dump: %s\n" path
+          | None -> ())
+        | None -> ());
         exit 3
       | Guard.Supervise.Terminated ->
         Printf.eprintf "daisy: SIGTERM at a commit boundary; checkpoint %s\n"
@@ -402,6 +500,26 @@ let run_cmd =
           %d shadow checks, %d divergences\n"
          s.checkpoints_written (s.checkpoint_seconds *. 1000.) s.deadline_hits
          s.shadow_checked s.shadow_divergences);
+    (match profile with
+    | Some p -> Obs.Profile.flush p ~vliws_total:r.vliws
+    | None -> ());
+    (match (pstore, profile) with
+    | Some store, Some p ->
+      let merged, bytes = Obs.Pstore.accumulate store p in
+      Printf.printf
+        "profile:              %d pages, %d edge traversals over %d run(s) \
+         -> %s (%d bytes)\n"
+        (Hashtbl.length merged.Obs.Profile.pages)
+        (Obs.Profile.total_edges merged) merged.runs (Obs.Pstore.path store)
+        bytes
+    | _ -> ());
+    (match flight with
+    | Some f ->
+      List.iter
+        (fun (reason, path) ->
+          Printf.printf "crash dump:           %s (%s)\n" path reason)
+        (Obs.Flight.dumps f)
+    | None -> ());
     let s = r.stats in
     if Vmm.Run.degraded s then begin
       Printf.printf
@@ -415,8 +533,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ w $ params_term $ engine $ finite $ trace_out
-          $ trace_format $ trace_cap $ metrics_out $ tcache_dir $ fault_term
-          $ guard_term)
+          $ trace_format $ trace_cap $ metrics_out $ tcache_dir $ profile_dir
+          $ crash_dump_dir $ no_flight $ flight_cap $ fault_term $ guard_term)
 
 let resume_cmd =
   let doc =
@@ -510,7 +628,12 @@ let resume_cmd =
     Term.(const run $ dir $ params_term $ console_out)
 
 let profile_cmd =
-  let doc = "Profile a workload's per-page hotness under DAISY." in
+  let doc =
+    "Profile a workload under DAISY: per-page hotness, the weighted \
+     cross-page edge graph, and the hot regions (inter-page cycles) that \
+     are tier-2 promotion candidates.  With --profile-dir, reads the \
+     accumulated persistent profile when one exists instead of running."
+  in
   let finite =
     Arg.(value & flag
          & info [ "finite" ] ~doc:"Attach the paper's 24-issue cache hierarchy.")
@@ -522,46 +645,199 @@ let profile_cmd =
   let json_out =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
-             ~doc:"Also write the full profile as JSON to $(docv).")
+             ~doc:"Also write the full profile (pages, edges, regions) as \
+                   JSON to $(docv).")
   in
-  let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
-  let run w params finite top json_out =
-    let hierarchy = if finite then Some (Memsys.Hierarchy.paper_24issue ()) else None in
-    let hotness = Obs.Hotness.create () in
-    let bridge = Obs.Bridge.create ~hotness () in
-    let r =
-      Vmm.Run.run ~params ?hierarchy
-        ~instrument:(fun vmm -> Obs.Bridge.attach bridge vmm) w
+  let regions =
+    Arg.(value & flag
+         & info [ "regions" ]
+             ~doc:"Report hot cross-page regions (cycles in the edge graph \
+                   over the heat threshold) with their edge weights.")
+  in
+  let threshold =
+    Arg.(value & opt int 2
+         & info [ "threshold" ] ~docv:"N"
+             ~doc:"Heat threshold: only edges traversed at least $(docv) \
+                   times participate in region detection.")
+  in
+  let flame =
+    Arg.(value & opt (some string) None
+         & info [ "flame" ] ~docv:"FILE"
+             ~doc:"Write a collapsed-stack (folded) flamegraph of page heat \
+                   grouped by region to $(docv).")
+  in
+  let profile_dir =
+    Arg.(value & opt (some string) None
+         & info [ "profile-dir" ] ~docv:"DIR"
+             ~doc:"Persistent profile store: report the accumulated entry \
+                   for this workload if present, otherwise run once and \
+                   accumulate the result.")
+  in
+  let report (w : Workloads.Wl.t) params finite top json_out regions_flag
+      threshold flame profile_dir =
+    if threshold <= 0 then begin
+      Printf.eprintf "daisy: --threshold must be positive\n";
+      exit 2
+    end;
+    Option.iter (check_writable_dir "--profile-dir") profile_dir;
+    let page_size = params.Params.page_size in
+    let store =
+      Option.map (fun dir -> profile_store w ~dir ~page_size) profile_dir
     in
-    Obs.Hotness.flush hotness ~vliws_total:r.vliws;
+    let stored =
+      match store with
+      | None -> None
+      | Some s -> (
+        match Obs.Pstore.load s with
+        | `Hit p -> Some p
+        | `Miss -> None
+        | `Corrupt msg | `Skipped msg ->
+          Printf.eprintf
+            "warning: stored profile unusable (%s); profiling afresh\n" msg;
+          None)
+    in
+    let p, source =
+      match stored with
+      | Some p ->
+        ( p,
+          Printf.sprintf "%d accumulated run(s) from %s" p.Obs.Profile.runs
+            (Option.get profile_dir) )
+      | None ->
+        let hierarchy =
+          if finite then Some (Memsys.Hierarchy.paper_24issue ()) else None
+        in
+        let profile = Obs.Profile.create ~page_size () in
+        let bridge = Obs.Bridge.create ~profile () in
+        let r =
+          Vmm.Run.run ~params ?hierarchy
+            ~instrument:(fun vmm -> Obs.Bridge.attach bridge vmm) w
+        in
+        Obs.Profile.flush profile ~vliws_total:r.vliws;
+        (match store with
+        | Some s -> ignore (Obs.Pstore.accumulate s profile)
+        | None -> ());
+        ( profile,
+          Printf.sprintf "fresh run (%d VLIWs, +%d interpreted)" r.vliws
+            r.interp_insns )
+    in
     (match json_out with
-    | Some path -> write_json path (Obs.Hotness.to_json hotness)
+    | Some path -> write_json path (Obs.Profile.to_json ~threshold p)
     | None -> ());
-    Printf.printf "workload:            %s\n" r.Vmm.Run.name;
-    Printf.printf "tree VLIWs executed: %d (+%d interpreted instructions)\n"
-      r.vliws r.interp_insns;
-    Printf.printf "amortisation:        %.1f VLIWs executed per instruction translated\n"
-      (float_of_int r.vliws /. float_of_int (max 1 r.insns_translated));
-    let ranked = Obs.Hotness.ranked hotness in
+    (match flame with
+    | Some path ->
+      with_out path (fun oc ->
+          output_string oc (Obs.Profile.to_collapsed ~threshold p))
+    | None -> ());
+    Printf.printf "workload:            %s\n" w.name;
+    Printf.printf "profile source:      %s\n" source;
+    Printf.printf "page entries:        %d across %d pages\n"
+      (Obs.Profile.total_entries p)
+      (Hashtbl.length p.Obs.Profile.pages);
+    Printf.printf "cross-page edges:    %d traversals over %d distinct edges\n"
+      (Obs.Profile.total_edges p)
+      (Hashtbl.length p.Obs.Profile.edges);
+    let ranked = Obs.Profile.pages_ranked p in
     let shown = List.filteri (fun i _ -> i < top) ranked in
     Stats.Table.render
       ~title:(Printf.sprintf "Hottest pages (%d of %d)"
                 (List.length shown) (List.length ranked))
-      ~header:[ "page"; "entries"; "vliws"; "xlates"; "insns"; "bytes";
-                "vliws/insn" ]
+      ~header:[ "page"; "entries"; "vliws"; "interp"; "xlates"; "insns";
+                "bytes"; "vliws/insn" ]
       (List.map
-         (fun (p : Obs.Hotness.page) ->
-           [ Printf.sprintf "0x%08x" p.base;
-             Stats.Table.i p.entries;
-             Stats.Table.big p.vliws;
-             Stats.Table.i p.translations;
-             Stats.Table.i p.insns_scheduled;
-             Stats.Table.i p.code_bytes;
-             Stats.Table.f1 (Obs.Hotness.amortisation p) ])
-         shown)
+         (fun (q : Obs.Profile.page) ->
+           [ Printf.sprintf "0x%08x" q.base;
+             Stats.Table.i q.entries;
+             Stats.Table.big q.vliws;
+             Stats.Table.i q.interp_insns;
+             Stats.Table.i q.translations;
+             Stats.Table.i q.insns_scheduled;
+             Stats.Table.i q.code_bytes;
+             Stats.Table.f1
+               (float_of_int q.vliws
+               /. float_of_int (max 1 q.insns_scheduled)) ])
+         shown);
+    if regions_flag then begin
+      let rs = Obs.Profile.regions ~threshold p in
+      if rs = [] then
+        Printf.printf
+          "\nNo cross-page regions at threshold %d: no page cycle's edges \
+           were all traversed that often.\n"
+          threshold
+      else begin
+        Printf.printf
+          "\nHot regions (tier-2 promotion candidates; edges >= %d \
+           traversals):\n"
+          threshold;
+        List.iter
+          (fun (r : Obs.Profile.region) ->
+            Printf.printf
+              "  R%d: %d pages [%s]  %d internal traversals, %d cycles, \
+               %d entries\n"
+              r.id (List.length r.rpages)
+              (String.concat " "
+                 (List.map (Printf.sprintf "0x%x") r.rpages))
+              r.internal_weight r.region_vliws r.region_entries;
+            List.iter
+              (fun (s, d, k, c) ->
+                Printf.printf "      0x%x -> 0x%x  %-6s %d\n" s d
+                  (Obs.Profile.edge_kind_string k)
+                  c)
+              r.redges)
+          rs
+      end
+    end
+  in
+  let merge ~into srcs =
+    (match into with
+    | None ->
+      Printf.eprintf "daisy: profile merge requires --into DIR\n";
+      exit 2
+    | Some _ -> ());
+    let into = Option.get into in
+    (match srcs with
+    | [] ->
+      Printf.eprintf "daisy: profile merge requires at least one SRC dir\n";
+      exit 2
+    | _ -> ());
+    check_writable_dir "--into" into;
+    let merged, skipped = Obs.Pstore.merge_dirs ~into srcs in
+    Printf.printf "merged %d profile entrie(s) into %s (%d file(s) skipped)\n"
+      merged into skipped
+  in
+  (* [daisy profile WORKLOAD ...] reports; [daisy profile merge --into DIR
+     SRC...] combines stores from a fleet of runs.  The dispatch is on the
+     first positional so the common report form needs no subcommand. *)
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD|merge"
+             ~doc:"A workload name to profile, or $(b,merge) to combine \
+                   profile directories ($(b,--into) DIR SRC...).")
+  in
+  let rest = Arg.(value & pos_right 0 string [] & info [] ~docv:"SRC") in
+  let into =
+    Arg.(value & opt (some string) None
+         & info [ "into" ] ~docv:"DIR"
+             ~doc:"($(b,merge)) destination store; created if missing.")
+  in
+  let dispatch target rest into params finite top json_out regions_flag
+      threshold flame profile_dir =
+    if target = "merge" then merge ~into rest
+    else
+      match Workloads.Registry.by_name target with
+      | w ->
+        if rest <> [] then begin
+          Printf.eprintf "daisy: unexpected arguments after %s\n" target;
+          exit 2
+        end;
+        report w params finite top json_out regions_flag threshold flame
+          profile_dir
+      | exception Invalid_argument m ->
+        Printf.eprintf "daisy: %s\n" m;
+        exit 2
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ w $ params_term $ finite $ top $ json_out)
+    Term.(const dispatch $ target $ rest $ into $ params_term $ finite $ top
+          $ json_out $ regions $ threshold $ flame $ profile_dir)
 
 let trees_cmd =
   let doc = "Translate a workload's entry page and print its tree VLIWs." in
@@ -740,25 +1016,66 @@ let fuzz_cmd =
                    divergences are repaired in place, so the verdicts are \
                    unchanged — the count is reported at the end.")
   in
-  let run seed pages insns fuel out replay shadow_sample faults =
+  let no_flight =
+    Arg.(value & flag
+         & info [ "no-flight" ]
+             ~doc:"Disable the flight recorder (no crash dumps on mismatch).")
+  in
+  let crash_dump_dir =
+    Arg.(value & opt string "daisy-crash"
+         & info [ "crash-dump-dir" ] ~docv:"DIR"
+             ~doc:"Where the flight recorder writes one crash dump per \
+                   mismatching page.")
+  in
+  let run seed pages insns fuel out replay shadow_sample no_flight
+      crash_dump_dir faults =
+    let flight =
+      if no_flight then None
+      else Some (Obs.Flight.create ~dir:crash_dump_dir ())
+    in
+    let bridge =
+      Option.map (fun flight -> Obs.Bridge.create ~flight ()) flight
+    in
     let divergences = ref 0 in
     let attach_extra =
-      if shadow_sample > 0. then
+      match (bridge, shadow_sample > 0.) with
+      | None, false -> None
+      | _ ->
         Some
           (fun (vmm : Vmm.Monitor.t) ->
-            ignore
-              (Guard.Shadow.attach
-                 { Guard.Shadow.default with sample = shadow_sample; seed }
-                 vmm);
-            let prev = vmm.event_hook in
-            vmm.event_hook <-
-              Some
-                (fun ev ->
-                  (match ev with
-                  | Vmm.Monitor.Shadow_divergence _ -> incr divergences
-                  | _ -> ());
-                  match prev with Some f -> f ev | None -> ()))
-      else None
+            (* bridge first (it overwrites the hook), then the shadow
+               counter wrapper, which chains whatever is installed *)
+            (match bridge with
+            | Some b -> Obs.Bridge.attach b vmm
+            | None -> ());
+            if shadow_sample > 0. then begin
+              ignore
+                (Guard.Shadow.attach
+                   { Guard.Shadow.default with sample = shadow_sample; seed }
+                   vmm);
+              let prev = vmm.event_hook in
+              vmm.event_hook <-
+                Some
+                  (fun ev ->
+                    (match ev with
+                    | Vmm.Monitor.Shadow_divergence _ -> incr divergences
+                    | _ -> ());
+                    match prev with Some f -> f ev | None -> ())
+            end)
+    in
+    let dump_crash reason =
+      match flight with
+      | Some f -> (
+        match Obs.Flight.dump f ~reason with
+        | Some path -> Printf.printf "crash dump: %s\n" path
+        | None -> ())
+      | None -> ()
+    in
+    let on_mismatch =
+      Option.map
+        (fun _ ~index ~message:(_ : string) ->
+          dump_crash (Printf.sprintf "fuzz-%d" index))
+        flight
     in
     let report_shadow () =
       if shadow_sample > 0. then
@@ -774,11 +1091,12 @@ let fuzz_cmd =
         report_shadow ()
       | Mismatch m ->
         Printf.printf "%s: MISMATCH: %s\n" path m;
+        dump_crash "replay";
         exit 3)
     | None ->
       let s =
-        Fault.Fuzz.fuzz ?faults ?attach_extra ~out_dir:out ~insns ~fuel
-          ~log:print_endline ~seed ~pages ()
+        Fault.Fuzz.fuzz ?faults ?attach_extra ?on_mismatch ~out_dir:out ~insns
+          ~fuel ~log:print_endline ~seed ~pages ()
       in
       Printf.printf "fuzz: %d pages, %d matched, %d hung, %d mismatched\n"
         s.pages s.matched s.hung s.mismatched;
@@ -787,7 +1105,7 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ seed $ pages $ insns $ fuel $ out $ replay
-          $ shadow_sample $ fault_term)
+          $ shadow_sample $ no_flight $ crash_dump_dir $ fault_term)
 
 let () =
   let doc = "DAISY: dynamic binary translation onto a tree-VLIW machine" in

@@ -371,9 +371,12 @@ type summary = {
 (** [fuzz ~seed ~pages ()] generates and differentially runs [pages]
     pages.  [faults] adds injection; [out_dir], when given, enables
     shrinking and writes one reproducer file per mismatch.  [log] gets
-    one line per notable event. *)
-let fuzz ?faults ?attach_extra ?out_dir ?(insns = 96) ?(fuel = 100_000)
-    ?(log = fun (_ : string) -> ()) ~seed ~pages () =
+    one line per notable event.  [on_mismatch] fires once per
+    mismatching page, before shrinking, while whatever [attach_extra]
+    instrumented (e.g. a flight recorder) still holds the failing run's
+    tail — the driver uses it to write crash dumps. *)
+let fuzz ?faults ?attach_extra ?on_mismatch ?out_dir ?(insns = 96)
+    ?(fuel = 100_000) ?(log = fun (_ : string) -> ()) ~seed ~pages () =
   let allow_raw =
     match faults with
     | Some (f : Inject.config) -> f.interrupt_rate <= 0.
@@ -394,6 +397,9 @@ let fuzz ?faults ?attach_extra ?out_dir ?(insns = 96) ?(fuel = 100_000)
     | Mismatch m ->
       incr mismatched;
       log (Printf.sprintf "page %d: MISMATCH: %s" index m);
+      (match on_mismatch with
+      | Some f -> f ~index ~message:m
+      | None -> ());
       (match out_dir with
       | None -> ()
       | Some dir ->

@@ -29,30 +29,42 @@ let install_sigterm () =
 (** Attach the supervision stack to [vmm].  [checkpoint_dir] enables
     periodic snapshots every [checkpoint_every] VMM cycles (sequence
     numbering continues from [checkpoint_seq] on resume); [watchdog]
-    sets the deadline budgets; [shadow] enables sampled verification.
-    Returns the checkpointer, if one was created, so callers can force
-    a final snapshot. *)
+    sets the deadline budgets; [shadow] enables sampled verification;
+    [flight] is dumped (reason ["sigterm"]) before the graceful-stop
+    unwind, so even a killed run leaves its event tail behind.  Returns
+    the checkpointer, if one was created, so callers can force a final
+    snapshot. *)
 let attach ?checkpoint_dir ?(checkpoint_every = 50_000) ?(checkpoint_seq = 0)
-    ?(watchdog = Watchdog.none) ?shadow ~workload (vmm : Vmm.Monitor.t) =
+    ?(watchdog = Watchdog.none) ?shadow ?flight ~workload
+    (vmm : Vmm.Monitor.t) =
   Watchdog.attach watchdog vmm;
   (match shadow with
   | Some cfg -> ignore (Shadow.attach cfg vmm)
   | None -> ());
-  match checkpoint_dir with
-  | None -> None
-  | Some dir ->
-    let ck =
-      Checkpoint.attach ~dir ~every:checkpoint_every ~seq:checkpoint_seq
-        ~workload vmm
-    in
+  let ck =
+    match checkpoint_dir with
+    | None -> None
+    | Some dir ->
+      Some
+        (Checkpoint.attach ~dir ~every:checkpoint_every ~seq:checkpoint_seq
+           ~workload vmm)
+  in
+  (match (ck, flight) with
+  | None, None -> ()
+  | _ ->
     let prev = vmm.tick_hook in
     vmm.tick_hook <-
       Some
         (fun ~pc ->
           (match prev with Some f -> f ~pc | None -> ());
           if !terminate then begin
-            ignore (Checkpoint.write ck ~pc);
+            (match ck with
+            | Some ck -> ignore (Checkpoint.write ck ~pc)
+            | None -> ());
+            (match flight with
+            | Some f -> ignore (Obs.Flight.dump f ~reason:"sigterm")
+            | None -> ());
             raise Terminated
           end;
-          Checkpoint.maybe ck ~pc);
-    Some ck
+          match ck with Some ck -> Checkpoint.maybe ck ~pc | None -> ()));
+  ck

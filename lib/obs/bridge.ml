@@ -11,6 +11,8 @@ type t = {
   tracer : Trace.t option;
   metrics : Metrics.t option;
   hotness : Hotness.t option;
+  profile : Profile.t option;
+  flight : Flight.t option;
   h_episode : Metrics.Histogram.t option;
       (** instructions per interpretation episode *)
   h_tr_insns : Metrics.Histogram.t option;
@@ -25,13 +27,18 @@ type t = {
       (** milliseconds to write one supervision checkpoint *)
 }
 
-let create ?tracer ?metrics ?hotness () =
+let create ?tracer ?metrics ?hotness ?profile ?flight () =
   let h name buckets =
     Option.map
       (fun m -> Metrics.histogram m ~buckets name)
       metrics
   in
-  { tracer; metrics; hotness;
+  (match (flight, metrics, profile) with
+  | Some f, m, p ->
+    Option.iter (Flight.set_metrics f) m;
+    Option.iter (Flight.set_profile f) p
+  | None, _, _ -> ());
+  { tracer; metrics; hotness; profile; flight;
     h_episode =
       h "interp_episode_insns" [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. ];
     h_tr_insns =
@@ -47,148 +54,116 @@ let create ?tracer ?metrics ?hotness () =
     h_checkpoint =
       h "checkpoint_ms" [ 0.05; 0.1; 0.25; 0.5; 1.; 2.; 5.; 10.; 25. ] }
 
-let deadline_stage_string : Monitor.deadline_stage -> string = function
-  | Dtranslate -> "translate"
-  | Dcompile -> "compile"
-  | Dprogress -> "progress"
+let profile_edge_kind : Monitor.edge_kind -> Profile.edge_kind = function
+  | Etaken -> Profile.Taken
+  | Efall -> Profile.Fall
+  | Elr -> Profile.Lr
+  | Ectr -> Profile.Ctr
+  | Egpr -> Profile.Gpr
+  | Einterp -> Profile.Interp
 
-let cross_kind_string : Monitor.cross_kind -> string = function
-  | Xdirect -> "direct"
-  | Xlr -> "lr"
-  | Xctr -> "ctr"
-  | Xgpr -> "gpr"
-  | Xinvalid_entry -> "invalid_entry"
-
-let rollback_kind_string : Monitor.rollback_kind -> string = function
-  | RbAlias -> "alias"
-  | RbSelfmod -> "selfmod"
-  | RbFault -> "fault"
-  | RbTag -> "tag"
-  | RbTagged_target -> "tagged_target"
-
-let trace b ~ts ~name ~ph args =
-  match b.tracer with Some t -> Trace.emit t ~ts ~name ~ph args | None -> ()
+(* A trigger event just went into the ring; snapshot everything.  The
+   dump is first-wins per reason and best-effort, so this stays cheap
+   under failure storms. *)
+let crash b reason =
+  match b.flight with Some f -> ignore (Flight.dump f ~reason) | None -> ()
 
 let observe h v =
   match h with Some h -> Metrics.Histogram.observe_int h v | None -> ()
 
+(* The hot path.  The flight recorder takes the raw event (two stores,
+   no allocation — the event value already exists); the sink updates
+   below are counter bumps; JSON rendering happens only for the opt-in
+   full-size tracer, via {!Flight.render}, so an always-on recorder
+   stays cheap while a dump's tail remains exactly the trace a tracer
+   would have kept. *)
 let on_event b (ev : Monitor.event) =
-  match ev with
-  | Translate_begin { cycle; page; entry } ->
-    trace b ~ts:cycle ~name:"translate" ~ph:Trace.B
-      [ ("page", Json.Int page); ("entry", Json.Int entry) ]
-  | Translate_end { cycle; page; entry; insns; vliws; bytes; groups } ->
+  (match b.flight with Some f -> Flight.push f ev | None -> ());
+  (match ev with
+  | Translate_end { page; insns; vliws; bytes; _ } ->
     observe b.h_tr_insns insns;
     observe b.h_tr_vliws vliws;
     (match b.hotness with
     | Some h -> Hotness.translated h ~page ~insns ~bytes
     | None -> ());
-    trace b ~ts:cycle ~name:"translate" ~ph:Trace.E
-      [ ("page", Json.Int page); ("entry", Json.Int entry);
-        ("insns", Json.Int insns); ("vliws", Json.Int vliws);
-        ("bytes", Json.Int bytes); ("groups", Json.Int groups) ]
-  | Interp_begin { cycle; pc } ->
-    trace b ~ts:cycle ~name:"interp" ~ph:Trace.B [ ("pc", Json.Int pc) ]
-  | Interp_end { cycle; pc; insns; next } ->
+    (match b.profile with
+    | Some p -> Profile.translated p ~page ~insns ~bytes
+    | None -> ())
+  | Interp_end { pc; insns; _ } ->
     observe b.h_episode insns;
-    trace b ~ts:cycle ~name:"interp" ~ph:Trace.E
-      [ ("pc", Json.Int pc); ("insns", Json.Int insns);
-        ("next", Json.Int next) ]
-  | Rolled_back { cycle; pc; kind } ->
-    trace b ~ts:cycle ~name:"rollback" ~ph:Trace.I
-      [ ("pc", Json.Int pc);
-        ("kind", Json.Str (rollback_kind_string kind)) ]
-  | Cross_page { cycle; kind; target } ->
-    trace b ~ts:cycle ~name:"cross_page" ~ph:Trace.I
-      [ ("kind", Json.Str (cross_kind_string kind));
-        ("target", Json.Int target) ]
-  | Page_enter { cycle = _; page; vliws_so_far } ->
-    (* hotness only: page entries are far too frequent for the ring *)
+    (match b.profile with
+    | Some p -> Profile.interp p ~pc ~insns
+    | None -> ())
+  | Exit_edge { src; dst; kind; _ } ->
+    (match b.profile with
+    | Some p -> Profile.edge p ~src ~dst ~kind:(profile_edge_kind kind)
+    | None -> ())
+  | Page_enter { page; vliws_so_far; _ } ->
     (match b.hotness with
     | Some h -> Hotness.enter h ~page ~vliws_so_far
+    | None -> ());
+    (match b.profile with
+    | Some p -> Profile.enter p ~page ~vliws_so_far
     | None -> ())
-  | Retranslate_adaptive { cycle; page } ->
-    trace b ~ts:cycle ~name:"adaptive_retranslation" ~ph:Trace.I
-      [ ("page", Json.Int page) ]
-  | Castout { cycle; page } ->
-    (match b.hotness with Some h -> Hotness.castout h ~page | None -> ());
-    trace b ~ts:cycle ~name:"castout" ~ph:Trace.I [ ("page", Json.Int page) ]
-  | Code_invalidated { cycle; page } ->
-    (match b.hotness with Some h -> Hotness.invalidated h ~page | None -> ());
-    trace b ~ts:cycle ~name:"code_invalidation" ~ph:Trace.I
-      [ ("page", Json.Int page) ]
-  | Syscall_trap { cycle; next } ->
-    trace b ~ts:cycle ~name:"syscall" ~ph:Trace.I [ ("next", Json.Int next) ]
-  | External_interrupt { cycle } ->
-    trace b ~ts:cycle ~name:"external_interrupt" ~ph:Trace.I []
-  | Tcache_hit { cycle; page; vliws; bytes; seconds } ->
+  | Castout { page; _ } ->
+    (match b.hotness with Some h -> Hotness.castout h ~page | None -> ())
+  | Code_invalidated { page; _ } ->
+    (match b.hotness with Some h -> Hotness.invalidated h ~page | None -> ())
+  | Tcache_hit { seconds; _ } ->
     (match b.h_tc_load with
     | Some h -> Metrics.Histogram.observe h (seconds *. 1000.)
-    | None -> ());
-    trace b ~ts:cycle ~name:"tcache_hit" ~ph:Trace.I
-      [ ("page", Json.Int page); ("vliws", Json.Int vliws);
-        ("bytes", Json.Int bytes);
-        ("ms", Json.Float (seconds *. 1000.)) ]
-  | Tcache_miss { cycle; page } ->
-    trace b ~ts:cycle ~name:"tcache_miss" ~ph:Trace.I
-      [ ("page", Json.Int page) ]
-  | Tcache_corrupt { cycle; page; reason } ->
-    trace b ~ts:cycle ~name:"tcache_corrupt" ~ph:Trace.I
-      [ ("page", Json.Int page); ("reason", Json.Str reason) ]
-  | Tcache_persist { cycle; page; bytes } ->
-    trace b ~ts:cycle ~name:"tcache_persist" ~ph:Trace.I
-      [ ("page", Json.Int page); ("bytes", Json.Int bytes) ]
-  | Tcache_evict { cycle; page } ->
-    trace b ~ts:cycle ~name:"tcache_evict" ~ph:Trace.I
-      [ ("page", Json.Int page) ]
-  | Tcache_skipped { cycle; page; reason } ->
-    trace b ~ts:cycle ~name:"tcache_skipped" ~ph:Trace.I
-      [ ("page", Json.Int page); ("reason", Json.Str reason) ]
-  | Translator_fault { cycle; page; entry; reason } ->
-    trace b ~ts:cycle ~name:"translator_fault" ~ph:Trace.I
-      [ ("page", Json.Int page); ("entry", Json.Int entry);
-        ("reason", Json.Str reason) ]
-  | Exec_fault { cycle; page; pc; reason } ->
-    trace b ~ts:cycle ~name:"exec_fault" ~ph:Trace.I
-      [ ("page", Json.Int page); ("pc", Json.Int pc);
-        ("reason", Json.Str reason) ]
-  | Quarantine { cycle; page; failures; until } ->
-    trace b ~ts:cycle ~name:"quarantine" ~ph:Trace.I
-      [ ("page", Json.Int page); ("failures", Json.Int failures);
-        ("until", Json.Int until) ]
-  | Degrade_retry { cycle; page } ->
-    trace b ~ts:cycle ~name:"degrade_retry" ~ph:Trace.I
-      [ ("page", Json.Int page) ]
-  | Interp_pinned { cycle; page } ->
-    trace b ~ts:cycle ~name:"interp_pinned" ~ph:Trace.I
-      [ ("page", Json.Int page) ]
-  | Vliw_compiled { cycle; page; vliws; seconds } ->
+    | None -> ())
+  | Vliw_compiled { seconds; _ } ->
     (match b.h_compile with
     | Some h -> Metrics.Histogram.observe h (seconds *. 1000.)
-    | None -> ());
-    trace b ~ts:cycle ~name:"vliw_compiled" ~ph:Trace.I
-      [ ("page", Json.Int page); ("vliws", Json.Int vliws);
-        ("ms", Json.Float (seconds *. 1000.)) ]
-  | Deadline { cycle; page; stage; seconds } ->
-    trace b ~ts:cycle ~name:"deadline" ~ph:Trace.I
-      [ ("page", Json.Int page);
-        ("stage", Json.Str (deadline_stage_string stage));
-        ("ms", Json.Float (seconds *. 1000.)) ]
-  | Shadow_divergence { cycle; page; pc; reason } ->
-    trace b ~ts:cycle ~name:"shadow_divergence" ~ph:Trace.I
-      [ ("page", Json.Int page); ("pc", Json.Int pc);
-        ("reason", Json.Str reason) ]
-  | Checkpoint_written { cycle; seq; bytes; pages; seconds } ->
+    | None -> ())
+  | Checkpoint_written { seconds; _ } ->
     (match b.h_checkpoint with
     | Some h -> Metrics.Histogram.observe h (seconds *. 1000.)
-    | None -> ());
-    trace b ~ts:cycle ~name:"checkpoint" ~ph:Trace.I
-      [ ("seq", Json.Int seq); ("bytes", Json.Int bytes);
-        ("pages", Json.Int pages);
-        ("ms", Json.Float (seconds *. 1000.)) ]
+    | None -> ())
+  | Quarantine _ -> crash b "quarantine"
+  | Deadline _ -> crash b "deadline"
+  | Shadow_divergence _ -> crash b "divergence"
+  | _ -> ());
+  match b.tracer with
+  | None -> ()
+  | Some t -> (
+    match ev with
+    | Page_enter _ ->
+      (* page entries are far too frequent for the main ring — but the
+         flight recorder's whole job is the recent tail, so it kept
+         this one above *)
+      ()
+    | _ ->
+      let ts, name, ph, args = Flight.render ev in
+      Trace.emit t ~ts ~name ~ph args)
 
-(** Subscribe this bridge to a VMM's event stream. *)
-let attach b (vmm : Monitor.t) = vmm.event_hook <- Some (on_event b)
+(* A dump-time view of the VMM's degradation-ladder state: which pages
+   have strikes, how long their backoff runs, which are pinned. *)
+let health_json (vmm : Monitor.t) () =
+  let rows =
+    Hashtbl.fold
+      (fun page (h : Monitor.health) acc -> (page, h) :: acc)
+      vmm.page_health []
+    |> List.sort compare
+  in
+  Json.Arr
+    (List.map
+       (fun (page, (h : Monitor.health)) ->
+         Json.Obj
+           [ ("page", Json.Int page); ("failures", Json.Int h.failures);
+             ("backoff_until", Json.Int h.backoff_until);
+             ("pinned_interp", Json.Bool h.pinned_interp) ])
+       rows)
+
+(** Subscribe this bridge to a VMM's event stream.  When a flight
+    recorder is attached this is also the moment its health view gains
+    a VMM to read. *)
+let attach b (vmm : Monitor.t) =
+  (match b.flight with
+  | Some f -> Flight.set_health f (health_json vmm)
+  | None -> ());
+  vmm.event_hook <- Some (on_event b)
 
 (** Copy a finished run's measurements into [m] as counters and gauges,
     named after the {!Vmm.Run.result} / {!Vmm.Monitor.stats} fields so

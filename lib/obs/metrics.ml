@@ -48,6 +48,38 @@ module Histogram = struct
     t.count <- t.count + 1
 
   let observe_int t v = observe t (float_of_int v)
+
+  (* Quantile estimation from the bucket counts: walk the cumulative
+     distribution to the bucket holding rank [q * count], then
+     interpolate linearly inside it (observations are non-negative, so
+     the first bucket's lower edge is 0).  The overflow bucket has no
+     upper edge; its estimate clamps to the largest finite bound —
+     conservative, and a signal the buckets are too small. *)
+  let quantile t q =
+    if t.count = 0 then None
+    else begin
+      let nb = Array.length t.bounds in
+      let target = q *. float_of_int t.count in
+      let rec walk i cum =
+        let here = cum + t.counts.(i) in
+        if float_of_int here >= target || i >= nb then (i, cum)
+        else walk (i + 1) here
+      in
+      let i, below = walk 0 0 in
+      if i >= nb then
+        Some (if nb = 0 then t.sum /. float_of_int t.count else t.bounds.(nb - 1))
+      else begin
+        let lo = if i = 0 then 0.0 else t.bounds.(i - 1) in
+        let hi = t.bounds.(i) in
+        let inside = t.counts.(i) in
+        if inside = 0 then Some hi
+        else
+          Some
+            (lo
+            +. (hi -. lo)
+               *. ((target -. float_of_int below) /. float_of_int inside))
+      end
+    end
 end
 
 type t = {
@@ -99,12 +131,17 @@ let find_counter t name =
 let find_gauge t name =
   List.find_opt (fun (g : Gauge.t) -> g.name = name) t.gauges
 
+(* Exports are in sorted-name order, not creation order: diffs between
+   two exports line up, and consumers can binary-search. *)
 let to_json t =
+  let by_name name l = List.sort (fun a b -> compare (name a) (name b)) l in
   let counters =
-    List.rev_map (fun (c : Counter.t) -> (c.name, Json.Int c.value)) t.counters
+    by_name (fun (c : Counter.t) -> c.name) t.counters
+    |> List.map (fun (c : Counter.t) -> (c.name, Json.Int c.value))
   in
   let gauges =
-    List.rev_map (fun (g : Gauge.t) -> (g.name, Json.Float g.value)) t.gauges
+    by_name (fun (g : Gauge.t) -> g.name) t.gauges
+    |> List.map (fun (g : Gauge.t) -> (g.name, Json.Float g.value))
   in
   let hist (h : Histogram.t) =
     let buckets =
@@ -115,12 +152,21 @@ let to_json t =
           in
           Json.Obj [ ("le", le); ("count", Json.Int h.counts.(i)) ])
     in
+    let q p =
+      match Histogram.quantile h p with
+      | Some v -> Json.Float v
+      | None -> Json.Null
+    in
     ( h.name,
       Json.Obj
         [ ("buckets", Json.Arr buckets); ("sum", Json.Float h.sum);
-          ("count", Json.Int h.count) ] )
+          ("count", Json.Int h.count); ("p50", q 0.5); ("p90", q 0.9);
+          ("p99", q 0.99) ] )
   in
   Json.Obj
     [ ("counters", Json.Obj counters);
       ("gauges", Json.Obj gauges);
-      ("histograms", Json.Obj (List.rev_map hist t.histograms)) ]
+      ("histograms",
+       Json.Obj
+         (by_name (fun (h : Histogram.t) -> h.name) t.histograms
+         |> List.map hist)) ]

@@ -1,0 +1,321 @@
+(* The persistent profile store: region profiles that survive the run.
+
+   DAISY's amortisation argument (§5.1) — translation pays for itself
+   over re-execution — extends across process lifetimes only if the
+   heat measurements do too, and fleet-style migration tooling (see
+   PAPERS.md) merges profiles from many machines.  So profiles are kept
+   on disk in the translation cache's codec style and merge
+   commutatively: [accumulate] folds a fresh run into whatever is
+   already there, and [merge_dirs] combines whole directories.
+
+   One file per (frontend × fingerprint), named by the hex digest of
+   both.  The fingerprint is the workload image digest plus the page
+   size: edges are page-granular, so profiles taken at different page
+   sizes describe different graphs and must not merge (page size is the
+   one translation parameter that changes the *shape* of the profile
+   rather than its weights).
+
+   File layout (integers via the tcache codec's varints):
+
+     magic "DPRF" | version u8
+     | frontend str | fingerprint str
+     | payload_len vint | payload MD5 (16 raw bytes) | payload
+
+   payload:
+     page_size vint | runs vint
+     | npages vint | (base entries vliws interp_insns
+                      translations insns_scheduled code_bytes)*
+     | nedges vint | (src dst kind_u8 count)*
+
+   Crash safety mirrors Tcache.Store: writes go to a unique temp file
+   renamed into place, and orphaned [*.tmp] files from a killed writer
+   are swept when the store is opened. *)
+
+module Codec = Tcache.Codec
+
+let magic = "DPRF"
+let version = 1
+let suffix = ".dpf"
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+
+let encode ~frontend ~fingerprint (p : Profile.t) =
+  let pl = Buffer.create 1024 in
+  Codec.put_vint pl p.page_size;
+  Codec.put_vint pl p.runs;
+  let pages =
+    Hashtbl.fold (fun _ (q : Profile.page) acc -> q :: acc) p.pages []
+    |> List.sort (fun (a : Profile.page) b -> compare a.base b.base)
+  in
+  Codec.put_vint pl (List.length pages);
+  List.iter
+    (fun (q : Profile.page) ->
+      Codec.put_vint pl q.base;
+      Codec.put_vint pl q.entries;
+      Codec.put_vint pl q.vliws;
+      Codec.put_vint pl q.interp_insns;
+      Codec.put_vint pl q.translations;
+      Codec.put_vint pl q.insns_scheduled;
+      Codec.put_vint pl q.code_bytes)
+    pages;
+  let edges =
+    Hashtbl.fold (fun k c acc -> (k, !c) :: acc) p.edges []
+    |> List.sort compare
+  in
+  Codec.put_vint pl (List.length edges);
+  List.iter
+    (fun ((src, dst, kind), count) ->
+      Codec.put_vint pl src;
+      Codec.put_vint pl dst;
+      Codec.put_u8 pl (Profile.edge_kind_code kind);
+      Codec.put_vint pl count)
+    edges;
+  let payload = Buffer.contents pl in
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b magic;
+  Codec.put_u8 b version;
+  Codec.put_str b frontend;
+  Codec.put_str b fingerprint;
+  Codec.put_vint b (String.length payload);
+  Buffer.add_string b (Digest.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(** Decode a whole profile file; returns [(frontend, fingerprint,
+    profile)] or raises {!Tcache.Codec.Corrupt} on anything malformed —
+    wrong magic, future version, checksum mismatch, implausible
+    counts. *)
+let decode s =
+  let mlen = String.length magic in
+  if String.length s < mlen + 1 then Codec.corrupt "truncated header";
+  if String.sub s 0 mlen <> magic then Codec.corrupt "bad magic";
+  let v = Char.code s.[mlen] in
+  if v <> version then Codec.corrupt "version %d (want %d)" v version;
+  let r = Codec.reader s in
+  r.pos <- mlen + 1;
+  let frontend = Codec.get_str r in
+  let fingerprint = Codec.get_str r in
+  let plen = Codec.get_vint r in
+  if plen < 0 || r.pos + 16 + plen <> String.length s then
+    Codec.corrupt "payload length %d disagrees with file size" plen;
+  let sum = String.sub s r.pos 16 in
+  let payload = String.sub s (r.pos + 16) plen in
+  if Digest.string payload <> sum then Codec.corrupt "checksum mismatch";
+  let r = Codec.reader payload in
+  let page_size = Codec.get_vint r in
+  if page_size <= 0 || page_size land (page_size - 1) <> 0 then
+    Codec.corrupt "bad page size %d" page_size;
+  let runs = Codec.get_vint r in
+  if runs < 0 then Codec.corrupt "negative run count";
+  let p = Profile.create ~page_size () in
+  p.runs <- runs;
+  let npages = Codec.get_count r "page" in
+  for _ = 1 to npages do
+    let base = Codec.get_vint r in
+    if base < 0 || base land (page_size - 1) <> 0 then
+      Codec.corrupt "page base 0x%X not %d-aligned" base page_size;
+    let q = Profile.page p base in
+    let field what v = if v < 0 then Codec.corrupt "negative %s" what; v in
+    q.entries <- field "entries" (Codec.get_vint r);
+    q.vliws <- field "vliws" (Codec.get_vint r);
+    q.interp_insns <- field "interp_insns" (Codec.get_vint r);
+    q.translations <- field "translations" (Codec.get_vint r);
+    q.insns_scheduled <- field "insns_scheduled" (Codec.get_vint r);
+    q.code_bytes <- field "code_bytes" (Codec.get_vint r)
+  done;
+  let nedges = Codec.get_count r "edge" in
+  for _ = 1 to nedges do
+    let src = Codec.get_vint r in
+    let dst = Codec.get_vint r in
+    let kind =
+      match Profile.edge_kind_of_code (Codec.get_u8 r) with
+      | Some k -> k
+      | None -> Codec.corrupt "bad edge kind"
+    in
+    let count = Codec.get_vint r in
+    if count <= 0 then Codec.corrupt "non-positive edge count";
+    if src < 0 || dst < 0 then Codec.corrupt "negative edge endpoint";
+    Profile.edge_n p ~src ~dst ~kind count
+  done;
+  if r.pos <> String.length payload then
+    Codec.corrupt "%d trailing payload bytes" (String.length payload - r.pos);
+  (frontend, fingerprint, p)
+
+(* ------------------------------------------------------------------ *)
+(* The store                                                           *)
+
+type t = {
+  dir : string;
+  frontend : string;
+  fingerprint : string;
+  swept_tmp : int;
+      (** orphaned temp files from a killed writer, removed at open *)
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun n f ->
+        if Filename.check_suffix f ".tmp" then
+          match Sys.remove (Filename.concat dir f) with
+          | () -> n + 1
+          | exception Sys_error _ -> n
+        else n)
+      0 files
+
+(** Open (creating if needed) the profile store in [dir].  Sweeps
+    orphaned temp files, like the translation cache.  Raises
+    [Sys_error] if the directory cannot be created. *)
+let open_store ~dir ~frontend ~fingerprint =
+  mkdir_p dir;
+  let swept_tmp = sweep_tmp dir in
+  { dir; frontend; fingerprint; swept_tmp }
+
+let key t =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ t.frontend; t.fingerprint ]))
+
+let path t = Filename.concat t.dir (key t ^ suffix)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try really_input_string ic (in_channel_length ic)
+      with End_of_file -> Codec.corrupt "short read")
+
+type probe_result =
+  [ `Hit of Profile.t
+  | `Miss
+  | `Corrupt of string
+  | `Skipped of string ]
+
+let load t : probe_result =
+  let path = path t in
+  if not (Sys.file_exists path) then `Miss
+  else if try Sys.is_directory path with Sys_error _ -> false then
+    `Skipped "is a directory"
+  else
+    match
+      let frontend, fingerprint, p = decode (read_file path) in
+      if frontend <> t.frontend || fingerprint <> t.fingerprint then
+        Codec.corrupt "fingerprint mismatch";
+      p
+    with
+    | p -> `Hit p
+    | exception Codec.Corrupt msg -> `Corrupt msg
+    | exception Sys_error msg -> `Skipped ("io: " ^ msg)
+
+(** Write [p] as this store's entry, atomically; returns file bytes. *)
+let save t (p : Profile.t) =
+  let bytes = encode ~frontend:t.frontend ~fingerprint:t.fingerprint p in
+  let tmp = Filename.temp_file ~temp_dir:t.dir ".profile" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc bytes);
+     Sys.rename tmp (path t)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  String.length bytes
+
+(** Fold a fresh run's profile into the on-disk entry (merge with
+    whatever is there; a corrupt entry is replaced).  Returns the merged
+    profile and the entry size written. *)
+let accumulate t (p : Profile.t) =
+  let merged =
+    match load t with
+    | `Hit prev ->
+      Profile.merge ~into:prev p;
+      prev
+    | `Miss | `Corrupt _ | `Skipped _ -> p
+  in
+  let bytes = save t merged in
+  (merged, bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Directory tools (daisy profile / profile merge)                     *)
+
+type info = {
+  i_file : string;
+  i_frontend : string;
+  i_fingerprint : string;
+  i_page_size : int;
+  i_runs : int;
+  i_pages : int;
+  i_edges : int;
+  i_entries : int;
+  i_bytes : int;
+  i_status : [ `Ok | `Corrupt of string | `Skipped of string ];
+}
+
+let entry_files dir =
+  match Sys.readdir dir with
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f suffix)
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
+let list_dir dir =
+  List.map
+    (fun f ->
+      let blank status =
+        { i_file = f; i_frontend = "?"; i_fingerprint = "?";
+          i_page_size = 0; i_runs = 0; i_pages = 0; i_edges = 0;
+          i_entries = 0; i_bytes = 0; i_status = status }
+      in
+      match read_file (Filename.concat dir f) with
+      | exception Sys_error msg -> blank (`Skipped msg)
+      | s -> (
+        match decode s with
+        | frontend, fingerprint, p ->
+          { i_file = f; i_frontend = frontend; i_fingerprint = fingerprint;
+            i_page_size = p.page_size; i_runs = p.runs;
+            i_pages = Hashtbl.length p.pages;
+            i_edges = Hashtbl.length p.edges;
+            i_entries = Profile.total_entries p;
+            i_bytes = String.length s; i_status = `Ok }
+        | exception Codec.Corrupt msg ->
+          { (blank (`Corrupt msg)) with i_bytes = String.length s }))
+    (entry_files dir)
+
+(** Merge every profile in [srcs] into [into] (created if missing):
+    entries with the same key are summed, new keys are copied.  Corrupt
+    or alien files are skipped, never fatal.  Returns
+    [(merged_entries, skipped_files)]. *)
+let merge_dirs ~into srcs =
+  mkdir_p into;
+  ignore (sweep_tmp into);
+  let merged = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun f ->
+          match decode (read_file (Filename.concat src f)) with
+          | exception (Sys_error _ | Codec.Corrupt _) -> incr skipped
+          | frontend, fingerprint, p ->
+            let t = { dir = into; frontend; fingerprint; swept_tmp = 0 } in
+            (match load t with
+            | `Hit prev ->
+              (* merge is commutative: direction only picks which
+                 in-memory object survives *)
+              Profile.merge ~into:prev p;
+              ignore (save t prev)
+            | `Miss | `Corrupt _ | `Skipped _ -> ignore (save t p));
+            incr merged)
+        (entry_files src))
+    srcs;
+  (!merged, !skipped)

@@ -775,6 +775,13 @@ type cexit =
   | Cindirect of Op.loc * [ `Lr | `Ctr | `Gpr ]
   | Ctrap of Tree.trap
 
+(* Direct links and memoized on-page entries short-circuit dispatch only
+   *within* a page: every [Coffpage] / [Cindirect] exit returns to the
+   monitor's shared exit handlers, which is where cross-page exit edges
+   ([Vmm.Monitor.Exit_edge]) are observed.  The staged engine therefore
+   produces the same edge stream as the tree walker by construction —
+   there is no separate emission path to keep in sync here. *)
+
 and cleaf = {
   ops : (unit -> unit) array; (* the whole root-to-leaf path, program order *)
   nops : int;

@@ -112,6 +112,20 @@ type rollback_kind =
   | RbTag            (** tagged (deferred-exception) register consumed *)
   | RbTagged_target  (** indirect branch on a tagged value *)
 
+(* How control left one page for another.  Exit edges are the region
+   profiler's raw material: unlike {!cross_kind} (which describes the
+   *mechanism* of a single transfer), an edge names both endpoint pages,
+   so a stream of them assembles into a weighted cross-page CFG.
+   Architectural transfers (sc / rfi / interrupt delivery) deliberately
+   emit no edge — a region scheduler cannot promote across them. *)
+type edge_kind =
+  | Etaken   (** direct cross-page branch *)
+  | Efall    (** execution fell off the page end into the next page *)
+  | Elr      (** register-indirect via the link register *)
+  | Ectr     (** register-indirect via the count register *)
+  | Egpr     (** register-indirect via a GPR *)
+  | Einterp  (** control crossed pages inside an interpretation episode *)
+
 type event =
   | Translate_begin of { cycle : int; page : int; entry : int }
   | Translate_end of {
@@ -127,6 +141,12 @@ type event =
   | Interp_end of { cycle : int; pc : int; insns : int; next : int }
   | Rolled_back of { cycle : int; pc : int; kind : rollback_kind }
   | Cross_page of { cycle : int; kind : cross_kind; target : int }
+  | Exit_edge of { cycle : int; src : int; dst : int; kind : edge_kind }
+      (** control moved from page [src] to a different page [dst] (both
+          page bases) by a promotable transfer.  Emitted by the shared
+          exit handlers, so the tree walker and the staged
+          closure-compiled engine produce identical edge streams, and by
+          the interpreter when an episode ends on another page. *)
   | Page_enter of { cycle : int; page : int; vliws_so_far : int }
   | Retranslate_adaptive of { cycle : int; page : int }
   | Castout of { cycle : int; page : int }
@@ -584,6 +604,7 @@ let interpret_episode t start =
   emit t (fun () -> Interp_begin { cycle = now t; pc = start });
   let insns0 = t.stats.interp_insns in
   let page_mask = lnot (t.tr.params.page_size - 1) in
+  let ended_on_stop = ref false in
   let rec go n =
     let pc = m.pc in
     let stop_kind = t.fe.is_episode_stop t.mem pc in
@@ -593,12 +614,23 @@ let interpret_episode t start =
     let crossed = m.pc land page_mask <> pc land page_mask in
     let backward = m.pc < pc in
     if n > 1 && not (stop_kind || crossed || backward) then go (n - 1)
+    else ended_on_stop := stop_kind
   in
   go t.max_episode;
   emit t (fun () ->
       Interp_end
         { cycle = now t; pc = start; insns = t.stats.interp_insns - insns0;
           next = m.pc });
+  (* An episode that walked onto another page is an exit edge too —
+     unless it ended on sc/rfi, whose page change is the architectural
+     trap transfer, not promotable control flow. *)
+  (match t.event_hook with
+  | None -> ()
+  | Some _ ->
+    let src = start land page_mask and dst = m.pc land page_mask in
+    if (not !ended_on_stop) && src <> dst then
+      emit t (fun () ->
+          Exit_edge { cycle = now t; src; dst; kind = Einterp }));
   m.pc
 
 exception Out_of_fuel
@@ -1064,6 +1096,19 @@ let run t ~entry ~fuel =
   and exit_offpage a =
     stats.cross_direct <- stats.cross_direct + 1;
     emit t (fun () -> Cross_page { cycle = now t; kind = Xdirect; target = a });
+    (match t.event_hook with
+    | None -> ()
+    | Some _ ->
+      let src = t.current_page in
+      let dst = Translate.page_base t.tr a in
+      if dst <> src then
+        emit t (fun () ->
+            (* landing exactly on the next page's first byte is how a
+               translation falls off its page end *)
+            let kind =
+              if a = src + t.tr.params.page_size then Efall else Etaken
+            in
+            Exit_edge { cycle = now t; src; dst; kind }));
     match commit_ck ~next:a with
     | Some p -> recover_at p
     | None -> goto_base a
@@ -1080,6 +1125,19 @@ let run t ~entry ~fuel =
             match kind with `Lr -> Xlr | `Ctr -> Xctr | `Gpr -> Xgpr
           in
           Cross_page { cycle = now t; kind = xkind; target = v land lnot 1 });
+      (match t.event_hook with
+      | None -> ()
+      | Some _ ->
+        let src = t.current_page in
+        let dst = Translate.page_base t.tr (v land lnot 1) in
+        (* an indirect target may resolve on-page; only a genuine page
+           change is an edge *)
+        if dst <> src then
+          emit t (fun () ->
+              let ekind =
+                match kind with `Lr -> Elr | `Ctr -> Ectr | `Gpr -> Egpr
+              in
+              Exit_edge { cycle = now t; src; dst; kind = ekind }));
       match commit_ck ~next:(v land lnot 1) with
       | Some p -> recover_at p
       | None -> goto_base (v land lnot 1))
