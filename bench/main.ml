@@ -289,6 +289,78 @@ let obs_overhead_series () =
   (J.Obj [ ("overhead_frac_mean", J.Float mean); ("workloads", J.Arr rows) ],
    mean)
 
+(* Serve-fleet series: the multi-tenant shared-cache economics.  A
+   fleet of short sessions runs twice over one cache directory through
+   the serve layer's domain pool and translate gate — the cold pass
+   measures how much of the translate storm the gate coalesced versus
+   naive per-session translation, the warm pass measures the headline
+   claim: aggregate hit rate and zero retranslation across the whole
+   fleet. *)
+let serve_fleet_series () =
+  print_newline ();
+  print_endline "Serve fleet: shared translation cache, cold vs warm";
+  print_endline "---------------------------------------------------";
+  let module J = Obs.Json in
+  let sessions = 100 in
+  let domains = 4 in
+  let workloads = [ "wc"; "cmp" ] in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "daisy_bench_serve.%d" (Unix.getpid ()))
+  in
+  (* the naive baseline: with no shared cache, every session translates
+     its own working set — one isolated uncached run per workload gives
+     the per-session page count *)
+  let naive_per_session =
+    List.map (fun name ->
+        (name, (Vmm.Run.run (Workloads.Registry.by_name name)).pages_translated))
+      workloads
+  in
+  let naive =
+    List.init sessions (fun i ->
+        snd (List.nth naive_per_session (i mod List.length naive_per_session)))
+    |> List.fold_left ( + ) 0
+  in
+  let pool = Serve.Pool.create ~domains in
+  let shared = Serve.Shared.create ~dir () in
+  let line tag (r : Serve.Fleet.report) =
+    Printf.printf
+      "%-5s %3d sessions  %2d failed  hit rate %.3f  pages %4d  \
+       p50 %6.1fms  p99 %6.1fms  coalesced %d  %.2fs\n"
+      tag r.sessions r.failures r.hit_rate r.pages_translated r.p50_ms
+      r.p99_ms r.gate_waits r.wall_seconds
+  in
+  let finish () =
+    Serve.Pool.shutdown pool;
+    ignore (Tcache.Store.clear_dir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  match
+    let cold, _ = Serve.Fleet.run ~pool ~shared ~sessions workloads in
+    line "cold" cold;
+    let warm, _ =
+      Serve.Fleet.run ~first_id:sessions ~pool ~shared ~sessions workloads
+    in
+    line "warm" warm;
+    (cold, warm)
+  with
+  | cold, warm ->
+    finish ();
+    Printf.printf
+      "naive per-session translation: %d pages; shared cold fleet: %d \
+       (%.1fx less)\n"
+      naive cold.pages_translated
+      (float_of_int naive /. float_of_int (max 1 cold.pages_translated));
+    J.Obj
+      [ ("sessions", J.Int sessions); ("domains", J.Int domains);
+        ("workloads", J.Arr (List.map (fun w -> J.Str w) workloads));
+        ("naive_pages_translated", J.Int naive);
+        ("cold", Serve.Fleet.report_json cold);
+        ("warm", Serve.Fleet.report_json warm) ]
+  | exception e ->
+    finish ();
+    raise e
+
 (* Host-throughput series: wall-clock speed of the two VLIW execution
    engines over the whole registry.  This is the fleet-migration metric
    — nanoseconds of host time per emulated base instruction — measured
@@ -439,9 +511,15 @@ let write_bench_json path micro =
       Printf.printf "obs-overhead series skipped: %s\n" (Printexc.to_string e);
       (J.Null, 0.)
   in
+  let serve_fleet =
+    try serve_fleet_series ()
+    with e ->
+      Printf.printf "serve-fleet series skipped: %s\n" (Printexc.to_string e);
+      J.Null
+  in
   let j =
     J.Obj
-      [ ("schema", J.Str "daisy-bench-v5");
+      [ ("schema", J.Str "daisy-bench-v6");
         ("workloads", J.Arr (List.map workload ws));
         ("mean_ilp_inf", J.Float mean_ilp);
         ("translator", translator);
@@ -451,7 +529,8 @@ let write_bench_json path micro =
         ("checkpoint", checkpoint);
         ("checkpoint_overhead_default_mean", J.Float mean_ck_overhead);
         ("obs_overhead", obs_overhead);
-        ("obs_overhead_frac_mean", J.Float mean_obs_overhead) ]
+        ("obs_overhead_frac_mean", J.Float mean_obs_overhead);
+        ("serve_fleet", serve_fleet) ]
   in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> J.to_channel oc j);

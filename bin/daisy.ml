@@ -10,6 +10,9 @@
                                       reference interpreter
      daisy resume <dir>             — continue a checkpointed run
      daisy tcache <dir> ...         — inspect the persistent cache
+     daisy serve <dir> [...]        — multi-tenant session daemon over a
+                                      shared translation cache
+     daisy client <command> [...]   — drive a running daemon
 
    Exit codes: 0 = ran and verified; 3 = differential verification
    failed (a compatibility bug); 4 = verified bit-exact, but only by
@@ -930,6 +933,49 @@ let tcache_cmd =
       List.iter
         (fun (fe, fp) -> Printf.printf "  %s  %s\n" fe fp)
         configs;
+      (* per-frontend entry counts: a shared directory serves several
+         guest ISAs side by side, and the budget squeezes them all *)
+      let frontends =
+        List.sort_uniq compare
+          (List.map (fun (i : Tcache.Store.info) -> i.frontend) ok)
+      in
+      List.iter
+        (fun fe ->
+          let mine =
+            List.filter (fun (i : Tcache.Store.info) -> i.frontend = fe) ok
+          in
+          Printf.printf "  frontend %-6s %d entries, %d bytes\n" fe
+            (List.length mine)
+            (List.fold_left
+               (fun n (i : Tcache.Store.info) -> n + i.file_bytes)
+               0 mine))
+        frontends;
+      (* LRU ages (now - mtime; a probe hit refreshes mtime), so the
+         operator can see what the eviction budget would take next *)
+      if ok <> [] then begin
+        let now = Unix.time () in
+        let bounds =
+          [ (60., "<1m"); (600., "<10m"); (3600., "<1h"); (86400., "<1d") ]
+        in
+        let counts = Array.make (List.length bounds + 1) 0 in
+        List.iter
+          (fun (i : Tcache.Store.info) ->
+            let age = max 0. (now -. i.mtime) in
+            let rec place k = function
+              | (b, _) :: rest -> if age <= b then k else place (k + 1) rest
+              | [] -> k
+            in
+            let k = place 0 bounds in
+            counts.(k) <- counts.(k) + 1)
+          ok;
+        Printf.printf "LRU ages:      %s\n"
+          (String.concat "  "
+             (List.mapi
+                (fun k (_, label) ->
+                  Printf.sprintf "%s:%d" label counts.(k))
+                bounds
+             @ [ Printf.sprintf "older:%d" counts.(List.length bounds) ]))
+      end;
       List.iter
         (fun (i : Tcache.Store.info) ->
           match i.status with
@@ -972,6 +1018,115 @@ let tcache_cmd =
     Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ dir)
   in
   Cmd.group (Cmd.info "tcache" ~doc) [ stats_cmd; ls_cmd; clear_cmd ]
+
+let socket_arg =
+  Arg.(value
+       & opt string (Filename.concat (Filename.get_temp_dir_name ())
+                       "daisy-serve.sock")
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let doc =
+    "Serve guest sessions as a multi-tenant daemon over one shared \
+     translation cache.  Each session is a full differentially-verified \
+     run with its own memory image and VMM; sessions execute \
+     concurrently on a bounded pool of OCaml domains and share only the \
+     cache directory, where a per-key translate gate coalesces \
+     cold-cache storms and an optional byte budget casts out \
+     least-recently-used entries (never pages pinned hot by a live \
+     session).  Stop it with $(b,daisy client shutdown)."
+  in
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let domains =
+    Arg.(value & opt int 4
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Size of the session domain pool (concurrent guests).")
+  in
+  let budget =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"BYTES"
+             ~doc:"Entry-byte budget for the shared cache directory; \
+                   exceeding it evicts least-recently-used unpinned \
+                   entries as sessions finish.")
+  in
+  let checkpoint_root =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-root" ] ~docv:"DIR"
+             ~doc:"Give each session its own checkpoint directory \
+                   $(docv)/session-<id>.")
+  in
+  let engine =
+    Arg.(value
+         & opt (enum [ ("tree", Vmm.Monitor.Tree); ("compiled", Vmm.Monitor.Compiled) ])
+             Vmm.Monitor.Compiled
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"VLIW execution engine for every session.")
+  in
+  let run dir socket_path domains budget checkpoint_root engine params =
+    if domains <= 0 then begin
+      Printf.eprintf "daisy serve: --domains must be positive\n";
+      exit 2
+    end;
+    check_writable_dir "cache" dir;
+    Option.iter (check_writable_dir "--checkpoint-root") checkpoint_root;
+    Printf.printf "daisy serve: cache %s, %d domains, socket %s\n%!" dir
+      domains socket_path;
+    match
+      Serve.Server.serve ~params ~engine ?budget ?checkpoint_root ~domains
+        ~socket_path ~dir ()
+    with
+    | sessions ->
+      Printf.printf "daisy serve: shut down after %d sessions\n" sessions
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "daisy serve: %s(%s): %s\n" fn arg (Unix.error_message e);
+      exit 2
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ dir $ socket_arg $ domains $ budget $ checkpoint_root
+          $ engine $ params_term)
+
+let client_cmd =
+  let doc =
+    "Drive a running $(b,daisy serve) daemon.  COMMAND is one of \
+     $(b,ping), $(b,run) $(i,WORKLOAD), $(b,fleet) $(i,N) \
+     $(i,WORKLOAD..), $(b,stats), $(b,shutdown).  Prints the daemon's \
+     JSON reply.  Exits 0 on an OK reply, 1 on a daemon-reported error, \
+     2 when the daemon is unreachable or the request is malformed."
+  in
+  let words =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"COMMAND")
+  in
+  let wait =
+    Arg.(value & opt float 0.
+         & info [ "wait-ready" ] ~docv:"SECONDS"
+             ~doc:"Poll the daemon up to $(docv) before sending, for \
+                   scripts that just forked it.")
+  in
+  let run socket_path wait words =
+    let req =
+      match words with
+      | cmd :: rest ->
+        String.concat " " (String.uppercase_ascii cmd :: rest)
+      | [] -> assert false  (* non_empty *)
+    in
+    if wait > 0. && not (Serve.Client.wait_ready ~timeout:wait ~socket_path ())
+    then begin
+      Printf.eprintf "daisy client: daemon at %s not ready after %.1fs\n"
+        socket_path wait;
+      exit 2
+    end;
+    match Serve.Client.request ~socket_path req with
+    | Serve.Client.Ok_json payload ->
+      if payload <> "" then print_endline payload
+    | Serve.Client.Err msg ->
+      Printf.eprintf "daisy client: %s\n" msg;
+      exit 1
+    | exception Serve.Client.Unreachable msg ->
+      Printf.eprintf "daisy client: %s\n" msg;
+      exit 2
+  in
+  Cmd.v (Cmd.info "client" ~doc) Term.(const run $ socket_arg $ wait $ words)
 
 let fuzz_cmd =
   let doc =
@@ -1114,4 +1269,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; resume_cmd; profile_cmd; trees_cmd;
-            experiments_cmd; ladder_cmd; tcache_cmd; fuzz_cmd ]))
+            experiments_cmd; ladder_cmd; tcache_cmd; serve_cmd; client_cmd;
+            fuzz_cmd ]))

@@ -4,7 +4,12 @@
 
    Timestamps are VLIW cycles (the simulator's clock), not wall time.
    When the buffer is full the oldest events are overwritten and
-   [dropped] counts what was lost — a run's tail is always retained. *)
+   [dropped] counts what was lost — a run's tail is always retained.
+
+   A ring may be shared across domains (the serve layer hands one
+   tracer to several sessions), so the head/len/total bookkeeping and
+   the snapshot taken by [iter] are guarded by a mutex.  Emit cost
+   under the lock stays two stores and two adds. *)
 
 type phase = B  (** span begin *)
            | E  (** span end *)
@@ -24,30 +29,42 @@ type t = {
   mutable len : int;   (* filled slots, <= capacity *)
   mutable head : int;  (* next write position *)
   mutable total : int; (* events ever emitted *)
+  lock : Mutex.t;
 }
 
 let dummy = { ts = 0; name = ""; ph = I; args = [] }
 
 let create ?(capacity = 1 lsl 20) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { buf = Array.make capacity dummy; capacity; len = 0; head = 0; total = 0 }
+  { buf = Array.make capacity dummy; capacity; len = 0; head = 0; total = 0;
+    lock = Mutex.create () }
 
 let emit t ~ts ~name ~ph args =
-  t.buf.(t.head) <- { ts; name; ph; args };
+  let e = { ts; name; ph; args } in
+  Mutex.lock t.lock;
+  t.buf.(t.head) <- e;
   t.head <- (t.head + 1) mod t.capacity;
   if t.len < t.capacity then t.len <- t.len + 1;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  Mutex.unlock t.lock
 
 let length t = t.len
 let total t = t.total
 let dropped t = t.total - t.len
 
-(** Iterate the retained events, oldest first. *)
+(** Iterate the retained events, oldest first.  Snapshots the retained
+    range under the lock, then runs [f] outside it — [f] may itself
+    emit without deadlocking, and concurrent emitters aren't stalled
+    behind a slow consumer. *)
 let iter f t =
+  Mutex.lock t.lock;
+  let snap = Array.make t.len dummy in
   let start = (t.head - t.len + t.capacity) mod t.capacity in
   for i = 0 to t.len - 1 do
-    f t.buf.((start + i) mod t.capacity)
-  done
+    snap.(i) <- t.buf.((start + i) mod t.capacity)
+  done;
+  Mutex.unlock t.lock;
+  Array.iter f snap
 
 let to_list t =
   let acc = ref [] in

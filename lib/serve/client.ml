@@ -1,0 +1,64 @@
+(* The `daisy client` side of the serve protocol: connect, send one
+   request line, read one reply line.  Kept dependency-free of the
+   server internals so it doubles as the protocol's reference
+   consumer. *)
+
+type reply =
+  | Ok_json of string   (** the JSON payload after "OK " *)
+  | Err of string       (** the daemon's error message *)
+
+exception Unreachable of string
+  (** could not connect / daemon hung up before replying *)
+
+let parse_reply line =
+  if line = "OK" then Ok_json ""
+  else if String.length line >= 3 && String.sub line 0 3 = "OK " then
+    Ok_json (String.sub line 3 (String.length line - 3))
+  else if String.length line >= 4 && String.sub line 0 4 = "ERR " then
+    Err (String.sub line 4 (String.length line - 4))
+  else Err ("malformed reply: " ^ line)
+
+(** Send [request] (no trailing newline) to the daemon at
+    [socket_path]; one round trip per call. *)
+let request ~socket_path req =
+  let fd =
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+       with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+      fd
+    with Unix.Unix_error (e, _, _) ->
+      raise
+        (Unreachable
+           (Printf.sprintf "cannot connect to %s: %s" socket_path
+              (Unix.error_message e)))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc req;
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | line -> parse_reply line
+      | exception End_of_file ->
+        raise (Unreachable "daemon closed the connection without replying"))
+
+(** Poll [request "PING"] until the daemon answers or [timeout] elapses
+    — the race-free way to wait for a freshly-forked daemon to bind. *)
+let wait_ready ?(timeout = 10.0) ~socket_path () =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match request ~socket_path "PING" with
+    | Ok_json _ -> true
+    | Err _ -> true  (* it answered; that's ready enough *)
+    | exception Unreachable _ ->
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        go ()
+      end
+  in
+  go ()

@@ -1,0 +1,106 @@
+(* Fleet driver: N sessions through the domain pool against one shared
+   cache, plus the aggregate numbers the serve economics are judged by
+   — warm-hit rate, session-latency quantiles, and how much of a
+   cold-cache translate storm the gate actually coalesced. *)
+
+type report = {
+  sessions : int;
+  failures : int;  (** sessions whose run raised or failed verification *)
+  wall_seconds : float;  (** whole-fleet wall clock *)
+  p50_ms : float;  (** session-latency quantiles, nearest-rank *)
+  p99_ms : float;
+  tcache_hits : int;    (** summed over sessions *)
+  tcache_misses : int;
+  hit_rate : float;     (** hits / (hits + misses); 1.0 when no probes *)
+  pages_translated : int;  (** fresh translation work across the fleet *)
+  gate_wins : int;      (** unique translations granted by the gate *)
+  gate_waits : int;     (** duplicate requests coalesced into waiting *)
+  gate_failures : int;
+  evictions : int;
+  evicted_bytes : int;
+}
+
+let quantile_ms sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    1000. *. sorted.(max 0 (min (n - 1) rank))
+
+(** Run [sessions] guests over [pool], assigning workloads round-robin
+    from [workloads].  Session ids start at [first_id] so successive
+    fleets over one daemon stay distinguishable in labels and
+    checkpoint paths.  Gate/eviction numbers are deltas over this fleet
+    only, even when [shared] is reused across fleets. *)
+let run ?params ?engine ?checkpoint_root ?(first_id = 0) ~pool ~shared
+    ~sessions workloads =
+  if sessions <= 0 then invalid_arg "Fleet.run: sessions must be positive";
+  if workloads = [] then invalid_arg "Fleet.run: no workloads";
+  let wl = Array.of_list workloads in
+  let out : Session.outcome option array = Array.make sessions None in
+  let before = Shared.stats shared in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to sessions - 1 do
+    Pool.submit pool (fun () ->
+        out.(i) <-
+          Some
+            (Session.run ?params ?engine ?checkpoint_root ~shared
+               ~id:(first_id + i)
+               wl.(i mod Array.length wl)))
+  done;
+  Pool.drain pool;
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let after = Shared.stats shared in
+  let outcomes =
+    Array.to_list out
+    |> List.filter_map Fun.id
+    |> List.sort (fun (a : Session.outcome) b -> compare a.id b.id)
+  in
+  (* a dropped slot (job never ran — pool torn down mid-fleet) counts
+     as a failure alongside mismatches and crashes *)
+  let failures =
+    sessions - List.length outcomes
+    + List.length (List.filter (fun o -> not (Session.ok o)) outcomes)
+  in
+  let sum f = List.fold_left (fun n o -> n + f o) 0 outcomes in
+  let stat f =
+    sum (fun (o : Session.outcome) ->
+        match o.result with Ok r -> f r | Error _ -> 0)
+  in
+  let hits = stat (fun r -> r.stats.tcache_hits) in
+  let misses = stat (fun r -> r.stats.tcache_misses) in
+  let lat =
+    List.map (fun (o : Session.outcome) -> o.seconds) outcomes
+    |> Array.of_list
+  in
+  Array.sort compare lat;
+  let report =
+    { sessions; failures; wall_seconds;
+      p50_ms = quantile_ms lat 0.5; p99_ms = quantile_ms lat 0.99;
+      tcache_hits = hits; tcache_misses = misses;
+      hit_rate =
+        (if hits + misses = 0 then 1.0
+         else float_of_int hits /. float_of_int (hits + misses));
+      pages_translated = stat (fun r -> r.pages_translated);
+      gate_wins = after.gate_wins - before.gate_wins;
+      gate_waits = after.gate_waits - before.gate_waits;
+      gate_failures = after.gate_failures - before.gate_failures;
+      evictions = after.evictions - before.evictions;
+      evicted_bytes = after.evicted_bytes - before.evicted_bytes }
+  in
+  (report, outcomes)
+
+let report_json r =
+  let open Obs.Json in
+  Obj
+    [ ("sessions", Int r.sessions); ("failures", Int r.failures);
+      ("wall_seconds", Float r.wall_seconds);
+      ("p50_ms", Float r.p50_ms); ("p99_ms", Float r.p99_ms);
+      ("tcache_hits", Int r.tcache_hits);
+      ("tcache_misses", Int r.tcache_misses);
+      ("hit_rate", Float r.hit_rate);
+      ("pages_translated", Int r.pages_translated);
+      ("gate_wins", Int r.gate_wins); ("gate_waits", Int r.gate_waits);
+      ("gate_failures", Int r.gate_failures);
+      ("evictions", Int r.evictions);
+      ("evicted_bytes", Int r.evicted_bytes) ]

@@ -1,0 +1,85 @@
+(* A bounded pool of OCaml 5 domains draining a shared work queue.
+
+   Sessions are CPU-bound (a whole VMM run each), so the pool is sized
+   in domains, not threads: [domains] runners are spawned once and each
+   loops dequeue → run until [shutdown].  Jobs are thunks that own
+   their results (the fleet writes into a preallocated slot per
+   session); a job that raises is contained — the exception is caught
+   and dropped by the runner, never the domain — so one broken session
+   cannot take a runner down with it.  [drain] is the barrier the fleet
+   needs: it returns once the queue is empty AND every dequeued job has
+   finished. *)
+
+type t = {
+  q : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;  (* signalled on submit and shutdown *)
+  all_done : Condition.t;  (* signalled when a runner goes idle *)
+  mutable active : int;    (* jobs currently executing *)
+  mutable closed : bool;
+  mutable runners : unit Domain.t list;
+}
+
+let runner t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.q then begin
+      (* closed and drained *)
+      Mutex.unlock t.lock
+    end
+    else begin
+      let job = Queue.pop t.q in
+      t.active <- t.active + 1;
+      Mutex.unlock t.lock;
+      (try job () with _ -> ());
+      Mutex.lock t.lock;
+      t.active <- t.active - 1;
+      if t.active = 0 && Queue.is_empty t.q then Condition.broadcast t.all_done;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  if domains <= 0 then invalid_arg "Pool.create: domains must be positive";
+  let t =
+    { q = Queue.create (); lock = Mutex.create ();
+      nonempty = Condition.create (); all_done = Condition.create ();
+      active = 0; closed = false; runners = [] }
+  in
+  t.runners <- List.init domains (fun _ -> Domain.spawn (runner t));
+  t
+
+let size t = List.length t.runners
+
+let submit t job =
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job t.q;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+(** Block until every submitted job has completed.  Safe to interleave
+    with further submits from other threads, but then "drained" is a
+    moment, not a state. *)
+let drain t =
+  Mutex.lock t.lock;
+  while t.active > 0 || not (Queue.is_empty t.q) do
+    Condition.wait t.all_done t.lock
+  done;
+  Mutex.unlock t.lock
+
+(** Finish the queue, stop the runners, join the domains. *)
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.runners

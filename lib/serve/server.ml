@@ -1,0 +1,163 @@
+(* The `daisy serve` daemon: a Unix-domain-socket front door over a
+   domain pool and one shared cache coordinator.
+
+   Protocol: one request per line, one reply per line — `OK <json>` or
+   `ERR <message>` — so a shell can drive it with printf | nc and the
+   client stays trivial.
+
+     PING                    liveness check
+     RUN <workload>          one session; replies with its summary
+     FLEET <n> <workload..>  n sessions round-robin over the workloads;
+                             replies with the aggregate fleet report
+     STATS                   coordinator + cache-directory numbers
+     SHUTDOWN                drain and stop the daemon
+
+   Threading: the accept loop owns the listener; each connection gets a
+   systhread (connections spend their life blocked on session results,
+   so cheap threads fit); all guest execution goes through the bounded
+   domain [Pool] — the pool IS the admission control, a burst of RUNs
+   queues rather than oversubscribing the host. *)
+
+type t = {
+  socket_path : string;
+  listener : Unix.file_descr;
+  pool : Pool.t;
+  shared : Shared.t;
+  next_id : int Atomic.t;
+  stop : bool Atomic.t;
+  params : Translator.Params.t;
+  engine : Vmm.Monitor.engine option;
+  checkpoint_root : string option;
+}
+
+(* Run [f] on the pool and block this (connection) thread for the
+   result, re-raising what [f] raised. *)
+let on_pool pool f =
+  let lock = Mutex.create () in
+  let ready = Condition.create () in
+  let slot = ref None in
+  Pool.submit pool (fun () ->
+      let r = match f () with v -> Ok v | exception e -> Error e in
+      Mutex.lock lock;
+      slot := Some r;
+      Condition.signal ready;
+      Mutex.unlock lock);
+  Mutex.lock lock;
+  while !slot = None do
+    Condition.wait ready lock
+  done;
+  let r = Option.get !slot in
+  Mutex.unlock lock;
+  match r with Ok v -> v | Error e -> raise e
+
+let split_words s =
+  String.split_on_char ' ' (String.trim s)
+  |> List.filter (fun w -> w <> "")
+
+let stats_json t =
+  let dir = Shared.dir t.shared in
+  let entries = List.length (Tcache.Store.entry_files dir) in
+  Obs.Json.Obj
+    [ ("coordinator", Shared.stats_json t.shared);
+      ("cache_dir", Obs.Json.Str dir);
+      ("cache_entries", Obs.Json.Int entries);
+      ("cache_bytes", Obs.Json.Int (Tcache.Store.dir_bytes dir));
+      ("sessions_started", Obs.Json.Int (Atomic.get t.next_id));
+      ("pool_domains", Obs.Json.Int (Pool.size t.pool)) ]
+
+let respond t line =
+  match split_words line with
+  | [ "PING" ] -> Printf.sprintf "OK %s" (Obs.Json.to_string (Obs.Json.Str "pong"))
+  | [ "RUN"; w ] -> (
+    let id = Atomic.fetch_and_add t.next_id 1 in
+    match
+      on_pool t.pool (fun () ->
+          Session.run ~params:t.params ?engine:t.engine
+            ?checkpoint_root:t.checkpoint_root ~shared:t.shared ~id w)
+    with
+    | o -> Printf.sprintf "OK %s" (Obs.Json.to_string (Session.outcome_json o))
+    | exception e -> Printf.sprintf "ERR %s" (Printexc.to_string e))
+  | "FLEET" :: n :: (_ :: _ as workloads) -> (
+    match int_of_string_opt n with
+    | None | Some 0 -> Printf.sprintf "ERR bad session count %S" n
+    | Some n when n < 0 -> Printf.sprintf "ERR bad session count %d" n
+    | Some n -> (
+      let first_id = Atomic.fetch_and_add t.next_id n in
+      match
+        Fleet.run ~params:t.params ?engine:t.engine
+          ?checkpoint_root:t.checkpoint_root ~first_id ~pool:t.pool
+          ~shared:t.shared ~sessions:n workloads
+      with
+      | report, _ ->
+        Printf.sprintf "OK %s" (Obs.Json.to_string (Fleet.report_json report))
+      | exception e -> Printf.sprintf "ERR %s" (Printexc.to_string e)))
+  | [ "STATS" ] ->
+    Printf.sprintf "OK %s" (Obs.Json.to_string (stats_json t))
+  | [ "SHUTDOWN" ] ->
+    Atomic.set t.stop true;
+    Printf.sprintf "OK %s" (Obs.Json.to_string (Obs.Json.Str "bye"))
+  | [] -> "ERR empty request"
+  | cmd :: _ -> Printf.sprintf "ERR unknown command %S" cmd
+
+(* Wake the accept loop after SHUTDOWN: connect once to our own socket
+   and drop the connection.  Blunt, but portable — closing a listener
+   out from under a blocked accept is not. *)
+let poke t =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.connect fd (Unix.ADDR_UNIX t.socket_path)
+     with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let handle t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line ->
+         output_string oc (respond t line);
+         output_char oc '\n';
+         flush oc;
+         if not (Atomic.get t.stop) then loop ()
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  if Atomic.get t.stop then poke t;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(** Bind, listen and serve until a SHUTDOWN request.  Blocks the
+    calling thread; returns the number of sessions started. *)
+let serve ?(params = Translator.Params.default) ?engine ?budget
+    ?checkpoint_root ?(domains = 4) ~socket_path ~dir () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* a stale socket file from a dead daemon blocks bind; take the name *)
+  (match Unix.lstat socket_path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket_path
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener 64;
+  let t =
+    { socket_path; listener; pool = Pool.create ~domains;
+      shared = Shared.create ?budget ~dir (); next_id = Atomic.make 0;
+      stop = Atomic.make false; params; engine; checkpoint_root }
+  in
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then begin
+      match Unix.accept t.listener with
+      | fd, _ ->
+        ignore (Thread.create (fun () -> handle t fd) ());
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> ()
+    end
+  in
+  accept_loop ();
+  Pool.shutdown t.pool;
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Atomic.get t.next_id

@@ -1,0 +1,97 @@
+(* One guest session: a full differentially-verified `Vmm.Run` with its
+   own memory image, VMM, metrics registry and (optionally) checkpoint
+   directory — sharing only the translation-cache directory, through
+   the coordinator's gate/pin discipline.
+
+   Isolation inventory: the workload is re-instantiated per session
+   (fresh guest memory), `Run.run` creates a fresh Monitor + Machine +
+   translator, the metrics registry is per-session and labeled with the
+   session id, and the checkpoint dir (when given) is
+   [<root>/session-<id>].  The ONLY shared mutable state is the cache
+   directory, and every mutation of it goes through the store's
+   directory lock; the only shared in-process state is the coordinator,
+   behind its own mutex. *)
+
+type outcome = {
+  id : int;
+  workload : string;
+  seconds : float;  (** wall-clock session latency *)
+  result : (Vmm.Run.result, string) Stdlib.result;
+      (** [Error] carries a verification-mismatch or crash message;
+          the session never lets an exception escape to the pool *)
+  metrics : Obs.Metrics.t;  (** labeled [session-<id>] *)
+}
+
+let ok o = Result.is_ok o.result
+
+(** Run workload [name] as session [id] against [shared]'s cache
+    directory.  Translation work is gated through [shared] so a cold
+    fleet translates each page once; every cache key the session
+    touches is pinned for its lifetime, then unpinned and the byte
+    budget enforced as it leaves. *)
+let run ?params ?engine ?checkpoint_root ~shared ~id name =
+  let w = Workloads.Registry.by_name name in
+  let metrics = Obs.Metrics.create ~label:(Printf.sprintf "session-%d" id) () in
+  let touched : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let touched_lock = Mutex.create () in
+  let store = ref None in
+  let instrument (vmm : Vmm.Monitor.t) =
+    store := vmm.tcache;
+    vmm.translate_gate <- Some (Shared.gate shared);
+    vmm.translate_release <- Some (Shared.release shared);
+    vmm.tcache_touch <-
+      Some
+        (fun ~key ->
+          (* first touch per key per session pins it; the session's own
+             set keeps the refcount at one per live session *)
+          Mutex.lock touched_lock;
+          let fresh = not (Hashtbl.mem touched key) in
+          if fresh then Hashtbl.add touched key ();
+          Mutex.unlock touched_lock;
+          if fresh then Shared.pin shared ~key);
+    match checkpoint_root with
+    | None -> ()
+    | Some root ->
+      let dir = Filename.concat root (Printf.sprintf "session-%d" id) in
+      ignore (Guard.Supervise.attach ~checkpoint_dir:dir ~workload:name vmm)
+  in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match
+      Vmm.Run.run ?params ?engine ~instrument
+        ~tcache_dir:(Shared.dir shared) w
+    with
+    | r -> Ok r
+    | exception Vmm.Run.Mismatch msg -> Error msg
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  (* leave: drop this session's pins, then apply the capacity budget
+     now that its hot set no longer needs protection *)
+  Hashtbl.iter (fun key () -> Shared.unpin shared ~key) touched;
+  (match !store with
+  | Some s -> Shared.enforce_budget shared s
+  | None -> ());
+  (match result with
+  | Ok r -> Obs.Bridge.record_result metrics r
+  | Error _ -> ());
+  { id; workload = name; seconds; result; metrics }
+
+let outcome_json o =
+  let open Obs.Json in
+  let base =
+    [ ("id", Int o.id); ("workload", Str o.workload);
+      ("seconds", Float o.seconds); ("ok", Bool (ok o)) ]
+  in
+  Obj
+    (match o.result with
+    | Error msg -> base @ [ ("error", Str msg) ]
+    | Ok r ->
+      base
+      @ [ ("exit_code",
+           match r.exit_code with Some c -> Int c | None -> Null);
+          ("base_insns", Int r.base_insns);
+          ("pages_translated", Int r.pages_translated);
+          ("tcache_hits", Int r.stats.tcache_hits);
+          ("tcache_misses", Int r.stats.tcache_misses);
+          ("degraded", Bool (Vmm.Run.degraded r.stats)) ])

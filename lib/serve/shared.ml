@@ -1,0 +1,142 @@
+(* The shared-cache coordinator: one per served tcache directory.
+
+   Every session opens its own `Tcache.Store` on the directory (stores
+   are cheap handles; the store's own directory lock makes concurrent
+   installs safe).  What the store cannot do alone is *coalesce*: on a
+   cold cache, N sessions entering the same hot page all miss and all
+   translate — N-1 of those translations are pure waste, renamed over
+   each other.  This module is the missing single-writer discipline:
+
+   - [gate]/[release] implement a per-content-key in-flight table.  The
+     first session to miss on a key wins the gate and translates; the
+     rest block on a condition variable, and when the winner releases
+     they re-probe the store and (install succeeded) hit.  The VMM
+     calls these through its [translate_gate]/[translate_release]
+     hooks, so the whole mechanism costs nothing outside serve.
+
+   - [pin]/[unpin] refcount the keys each live session is executing
+     from (fed by the VMM's [tcache_touch] hook).  [enforce_budget]
+     passes the pin set to the store's LRU castout, so capacity
+     eviction never yanks a page hot in a running guest.
+
+   All state is behind one mutex; the hold times are a hashtable lookup
+   each, never a translation. *)
+
+type t = {
+  dir : string;
+  budget : int option;  (** entry-byte budget; [None] = unbounded *)
+  lock : Mutex.t;
+  released : Condition.t;
+  inflight : (string, unit) Hashtbl.t;  (** keys being translated now *)
+  pins : (string, int) Hashtbl.t;       (** key -> live-session refcount *)
+  (* counters; atomics so [stats] needs no lock ordering story *)
+  gate_wins : int Atomic.t;      (** gate acquisitions (unique translations) *)
+  gate_waits : int Atomic.t;     (** coalesced: blocked behind a winner *)
+  gate_failures : int Atomic.t;  (** winner released without installing *)
+  evictions : int Atomic.t;
+  evicted_bytes : int Atomic.t;
+}
+
+let create ?budget ~dir () =
+  { dir; budget; lock = Mutex.create (); released = Condition.create ();
+    inflight = Hashtbl.create 32; pins = Hashtbl.create 64;
+    gate_wins = Atomic.make 0; gate_waits = Atomic.make 0;
+    gate_failures = Atomic.make 0; evictions = Atomic.make 0;
+    evicted_bytes = Atomic.make 0 }
+
+let dir t = t.dir
+
+(* --- the translate gate (Monitor.translate_gate / _release) -------- *)
+
+let gate t ~page:_ ~key =
+  Mutex.lock t.lock;
+  if not (Hashtbl.mem t.inflight key) then begin
+    Hashtbl.add t.inflight key ();
+    Atomic.incr t.gate_wins;
+    Mutex.unlock t.lock;
+    `Proceed
+  end
+  else begin
+    Atomic.incr t.gate_waits;
+    while Hashtbl.mem t.inflight key do
+      Condition.wait t.released t.lock
+    done;
+    Mutex.unlock t.lock;
+    `Waited
+  end
+
+let release t ~page:_ ~key ~ok =
+  Mutex.lock t.lock;
+  Hashtbl.remove t.inflight key;
+  if not ok then Atomic.incr t.gate_failures;
+  (* broadcast, not signal: waiters on *different* keys share the
+     condition variable *)
+  Condition.broadcast t.released;
+  Mutex.unlock t.lock
+
+(* --- session pinning (Monitor.tcache_touch) ------------------------ *)
+
+let pin t ~key =
+  Mutex.lock t.lock;
+  Hashtbl.replace t.pins key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.pins key));
+  Mutex.unlock t.lock
+
+let unpin t ~key =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.pins key with
+  | Some n when n > 1 -> Hashtbl.replace t.pins key (n - 1)
+  | Some _ -> Hashtbl.remove t.pins key
+  | None -> ());
+  Mutex.unlock t.lock
+
+let pinned t key =
+  Mutex.lock t.lock;
+  let p = Hashtbl.mem t.pins key in
+  Mutex.unlock t.lock;
+  p
+
+(* --- capacity ------------------------------------------------------ *)
+
+(** Apply the byte budget to the directory, sparing pinned keys.
+    Called by sessions as they finish; a no-op without a budget. *)
+let enforce_budget t (store : Tcache.Store.t) =
+  match t.budget with
+  | None -> ()
+  | Some budget ->
+    let r = Tcache.Store.enforce_budget ~pinned:(pinned t) store ~budget in
+    if r.evicted > 0 then begin
+      ignore (Atomic.fetch_and_add t.evictions r.evicted);
+      ignore (Atomic.fetch_and_add t.evicted_bytes r.evicted_bytes)
+    end
+
+type stats = {
+  gate_wins : int;
+  gate_waits : int;
+  gate_failures : int;
+  evictions : int;
+  evicted_bytes : int;
+  pinned_keys : int;
+  inflight_keys : int;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let pinned_keys = Hashtbl.length t.pins in
+  let inflight_keys = Hashtbl.length t.inflight in
+  Mutex.unlock t.lock;
+  { gate_wins = Atomic.get t.gate_wins; gate_waits = Atomic.get t.gate_waits;
+    gate_failures = Atomic.get t.gate_failures;
+    evictions = Atomic.get t.evictions;
+    evicted_bytes = Atomic.get t.evicted_bytes; pinned_keys; inflight_keys }
+
+let stats_json t =
+  let s = stats t in
+  Obs.Json.Obj
+    [ ("gate_wins", Obs.Json.Int s.gate_wins);
+      ("gate_waits", Obs.Json.Int s.gate_waits);
+      ("gate_failures", Obs.Json.Int s.gate_failures);
+      ("evictions", Obs.Json.Int s.evictions);
+      ("evicted_bytes", Obs.Json.Int s.evicted_bytes);
+      ("pinned_keys", Obs.Json.Int s.pinned_keys);
+      ("inflight_keys", Obs.Json.Int s.inflight_keys) ]

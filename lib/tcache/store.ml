@@ -25,9 +25,27 @@
    half-written entry and a killed writer leaves only a stray temp file
    (swept by [clear_dir]).  A truncated, bit-flipped or future-version
    entry fails the magic/version/checksum/decode ladder and reports as
-   [`Corrupt]; the VMM then falls back to a normal translate. *)
+   [`Corrupt]; the VMM then falls back to a normal translate.
+
+   Sharing: several VMMs — domains in one `daisy serve` process, or
+   separate processes — may point at one directory.  Probes stay
+   lock-free (rename atomicity means a reader sees a whole entry or no
+   entry), but every *mutation* of the directory's file set (the
+   orphan-temp sweep at open, persist's temp-create..rename window,
+   eviction) runs under the directory lock: a per-directory in-process
+   mutex stacked on an advisory [Unix.lockf] range lock on a
+   ".dtclock" file.  Both layers are needed — fcntl locks never
+   exclude the owning process, and a bare mutex never excludes another
+   process.  Under the lock, a temp file seen by the sweep can only be
+   a dead writer's orphan, never a live concurrent write.
+
+   Recency: a probe hit touches the entry's mtime, so file mtime is a
+   cheap persistent LRU clock; [enforce_budget] casts out the
+   oldest-mtime unpinned entries when the directory exceeds a byte
+   budget. *)
 
 let magic = "DTCE"
+let lock_file = ".dtclock"
 
 type t = {
   dir : string;
@@ -35,7 +53,51 @@ type t = {
   fingerprint : string;
   swept_tmp : int;
       (** orphaned temp files from a killed writer, removed at open *)
+  lock_fd : Unix.file_descr;
+      (** open for the store's lifetime; see [with_dir_lock] *)
 }
+
+(* One mutex per directory per process, created on first open and never
+   dropped (the set of cache dirs a process touches is tiny).  Keyed on
+   the directory path as given — callers that alias one directory under
+   two spellings still get cross-process safety from lockf. *)
+let dir_mutexes : (string, Mutex.t) Hashtbl.t = Hashtbl.create 8
+let dir_mutexes_lock = Mutex.create ()
+
+let dir_mutex dir =
+  Mutex.lock dir_mutexes_lock;
+  let m =
+    match Hashtbl.find_opt dir_mutexes dir with
+    | Some m -> m
+    | None ->
+      let m = Mutex.create () in
+      Hashtbl.add dir_mutexes dir m;
+      m
+  in
+  Mutex.unlock dir_mutexes_lock;
+  m
+
+(* Serialize directory mutations within this process (mutex) and
+   against other processes (lockf on the shared lock file).  The mutex
+   is taken first, so at most one fd per process holds the fcntl lock —
+   which sidesteps fcntl's same-process merge/close semantics. *)
+let with_dir_lock ~dir ~lock_fd f =
+  let m = dir_mutex dir in
+  Mutex.lock m;
+  let locked =
+    (* Advisory only: on a filesystem that refuses fcntl locks we still
+       have in-process exclusion, which covers the serve daemon. *)
+    match Unix.lockf lock_fd Unix.F_LOCK 0 with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if locked then
+        (try Unix.lockf lock_fd Unix.F_ULOCK 0
+         with Unix.Unix_error _ -> ());
+      Mutex.unlock m)
+    f
 
 type probe_result =
   [ `Hit of Translator.Translate.xpage * bool  (** page, spec_inhibited *)
@@ -54,26 +116,34 @@ let rec mkdir_p dir =
 
 let open_store ~dir ~frontend ~fingerprint =
   mkdir_p dir;
+  let lock_fd =
+    Unix.openfile
+      (Filename.concat dir lock_file)
+      [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+      0o644
+  in
   (* A writer killed between temp-file creation and rename leaves a
      stray *.tmp behind.  No reader ever looks at temp files, so the
      store stays correct either way; sweeping them at open keeps a
-     crash-looped run from accumulating garbage.  The store assumes a
-     single writer per directory (one VMM per tcache dir), so a temp
-     file seen here can only be an orphan, never a concurrent write. *)
+     crash-looped run from accumulating garbage.  The sweep holds the
+     directory lock: persist's temp-create..rename window holds the
+     same lock, so a temp file seen here can only be an orphan from a
+     dead writer, never another store's in-flight install. *)
   let swept_tmp =
-    match Sys.readdir dir with
-    | exception Sys_error _ -> 0
-    | files ->
-      Array.fold_left
-        (fun n f ->
-          if Filename.check_suffix f ".tmp" then
-            match Sys.remove (Filename.concat dir f) with
-            | () -> n + 1
-            | exception Sys_error _ -> n
-          else n)
-        0 files
+    with_dir_lock ~dir ~lock_fd (fun () ->
+        match Sys.readdir dir with
+        | exception Sys_error _ -> 0
+        | files ->
+          Array.fold_left
+            (fun n f ->
+              if Filename.check_suffix f ".tmp" then
+                match Sys.remove (Filename.concat dir f) with
+                | () -> n + 1
+                | exception Sys_error _ -> n
+              else n)
+            0 files)
   in
-  { dir; frontend; fingerprint; swept_tmp }
+  { dir; frontend; fingerprint; swept_tmp; lock_fd }
 
 (** The content-addressed key for a page: [bytes] are the page's exact
     base-architecture bytes, [base] its physical base address. *)
@@ -151,7 +221,12 @@ let probe t ~key:k : probe_result =
       if page.base <> h.h_base then Codec.corrupt "base mismatch";
       (page, h.h_spec_inhibited)
     with
-    | page, si -> `Hit (page, si)
+    | page, si ->
+      (* the persistent LRU clock: a hit marks the entry recently used,
+         so [enforce_budget] casts out cold entries first.  Best
+         effort — a read-only cache dir still serves hits. *)
+      (try Unix.utimes path 0. 0. with Unix.Unix_error _ | Sys_error _ -> ());
+      `Hit (page, si)
     | exception Codec.Corrupt msg -> `Corrupt msg
     | exception Sys_error msg -> `Skipped ("io: " ^ msg)
 
@@ -175,24 +250,100 @@ let persist t ~key:k (page : Translator.Translate.xpage) ~spec_inhibited =
   Codec.put_vint b (String.length payload);
   Buffer.add_string b (Digest.string payload);
   Buffer.add_string b payload;
-  let tmp = Filename.temp_file ~temp_dir:t.dir ".tcache" ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () -> Buffer.output_buffer oc b);
-     Sys.rename tmp (path_of t k)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
+  with_dir_lock ~dir:t.dir ~lock_fd:t.lock_fd (fun () ->
+      let tmp = Filename.temp_file ~temp_dir:t.dir ".tcache" ".tmp" in
+      let oc = open_out_bin tmp in
+      (try
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () -> Buffer.output_buffer oc b);
+         Sys.rename tmp (path_of t k)
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e));
   Buffer.length b
 
 (** Drop the entry under [key], if present; tells whether one was. *)
 let evict t ~key:k =
   let path = path_of t k in
-  match Sys.remove path with
-  | () -> true
-  | exception Sys_error _ -> false
+  with_dir_lock ~dir:t.dir ~lock_fd:t.lock_fd (fun () ->
+      match Sys.remove path with
+      | () -> true
+      | exception Sys_error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Admission / eviction                                                 *)
+
+(** Sum of entry-file sizes in [dir] (entries only — temp files, the
+    lock file and strays don't count against the budget). *)
+let dir_bytes dir =
+  List.fold_left
+    (fun n f ->
+      match Unix.stat (Filename.concat dir f) with
+      | st -> n + st.Unix.st_size
+      | exception Unix.Unix_error _ -> n)
+    0
+    (match Sys.readdir dir with
+    | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".dtc")
+    | exception Sys_error _ -> [])
+
+type budget_report = {
+  resident_bytes : int;  (** entry bytes after enforcement *)
+  evicted : int;         (** entries cast out *)
+  evicted_bytes : int;
+  pinned_over : bool;
+      (** the budget could not be met because everything left is
+          pinned — the budget is soft against live sessions *)
+}
+
+(** Cast out oldest-mtime entries until the directory's entry bytes fit
+    [budget].  [pinned key] protects entries hot in a live session —
+    the caller knows which keys its guests are executing from.  Runs
+    under the directory lock, so concurrent installs and other
+    enforcers serialize with it. *)
+let enforce_budget ?(pinned = fun _ -> false) t ~budget =
+  with_dir_lock ~dir:t.dir ~lock_fd:t.lock_fd (fun () ->
+      let entries =
+        (match Sys.readdir t.dir with
+        | files -> Array.to_list files
+        | exception Sys_error _ -> [])
+        |> List.filter (fun f -> Filename.check_suffix f ".dtc")
+        |> List.filter_map (fun f ->
+               let path = Filename.concat t.dir f in
+               match Unix.stat path with
+               | st ->
+                 Some
+                   ( Filename.chop_suffix f ".dtc",
+                     path, st.Unix.st_size, st.Unix.st_mtime )
+               | exception Unix.Unix_error _ -> None)
+      in
+      let total = List.fold_left (fun n (_, _, sz, _) -> n + sz) 0 entries in
+      if total <= budget then
+        { resident_bytes = total; evicted = 0; evicted_bytes = 0;
+          pinned_over = false }
+      else begin
+        (* oldest first; pinned entries sort behind everything so they
+           are only reached once the unpinned pool is exhausted *)
+        let victims =
+          List.filter (fun (k, _, _, _) -> not (pinned k)) entries
+          |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare a b)
+        in
+        let resident = ref total and evicted = ref 0 and freed = ref 0 in
+        List.iter
+          (fun (_, path, sz, _) ->
+            if !resident > budget then
+              match Sys.remove path with
+              | () ->
+                resident := !resident - sz;
+                incr evicted;
+                freed := !freed + sz
+              | exception Sys_error _ -> ())
+          victims;
+        { resident_bytes = !resident; evicted = !evicted;
+          evicted_bytes = !freed; pinned_over = !resident > budget }
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Directory tools (daisy tcache stats / ls / clear)                   *)
@@ -208,6 +359,8 @@ type info = {
   spec_inhibited : bool;
   vliws : int;
   entries : int;
+  mtime : float;
+      (** last probe hit or install — the LRU clock; 0 if unstattable *)
   status : [ `Ok | `Corrupt of string | `Skipped of string ];
 }
 
@@ -219,15 +372,17 @@ let entry_files dir =
     |> List.sort compare
   | exception Sys_error _ -> []
 
-(** Files in [dir] that are not cache entries or temp files — left
-    alone by every store operation, reported so tooling can say why. *)
+(** Files in [dir] that are not cache entries, temp files or the lock
+    file — left alone by every store operation, reported so tooling can
+    say why. *)
 let stray_files dir =
   match Sys.readdir dir with
   | files ->
     Array.to_list files
     |> List.filter (fun f ->
            (not (Filename.check_suffix f ".dtc"))
-           && not (Filename.check_suffix f ".tmp"))
+           && (not (Filename.check_suffix f ".tmp"))
+           && f <> lock_file)
     |> List.sort compare
   | exception Sys_error _ -> []
 
@@ -237,13 +392,18 @@ let list_dir dir =
   List.map
     (fun f ->
       let key = Filename.chop_suffix f ".dtc" in
+      let path = Filename.concat dir f in
+      let mtime =
+        match Unix.stat path with
+        | st -> st.Unix.st_mtime
+        | exception Unix.Unix_error _ -> 0.
+      in
       let blank status =
         { key; file_bytes = 0; version = 0; frontend = "?"; fingerprint = "?";
           base = 0; psize = 0; spec_inhibited = false; vliws = 0; entries = 0;
-          status }
+          mtime; status }
       in
       match
-        let path = Filename.concat dir f in
         if try Sys.is_directory path with Sys_error _ -> false then
           raise (Sys_error "is a directory")
         else read_file path
@@ -256,7 +416,7 @@ let list_dir dir =
             frontend = h.h_frontend; fingerprint = h.h_fingerprint;
             base = h.h_base; psize = h.h_psize;
             spec_inhibited = h.h_spec_inhibited; vliws = h.h_vliws;
-            entries = h.h_entries; status = `Ok }
+            entries = h.h_entries; mtime; status = `Ok }
         | exception Codec.Corrupt msg ->
           { (blank (`Corrupt msg)) with file_bytes = String.length s }))
     (entry_files dir)
@@ -267,7 +427,7 @@ let list_dir dir =
     the store's to delete.  Never raises. *)
 let clear_dir dir =
   let all = match Sys.readdir dir with
-    | files -> Array.to_list files
+    | files -> List.filter (fun f -> f <> lock_file) (Array.to_list files)
     | exception Sys_error _ -> []
   in
   let ours, strays =

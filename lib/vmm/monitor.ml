@@ -294,6 +294,23 @@ type t = {
           and an interpretation episode (page-fault storms) *)
   mutable tcache_persist_hook : (string -> unit) option;
       (** called with the entry's path after each persist (poisoning) *)
+  (* --- shared-cache service (lib/serve attaches here) --- *)
+  mutable translate_gate :
+    (page:int -> key:string -> [ `Proceed | `Waited ]) option;
+      (** consulted after a store miss, before fresh translation of a
+          page with no in-memory translation.  [`Proceed]: this VMM won
+          the content key and must translate (and later release);
+          [`Waited]: another session translated the same key while we
+          blocked — re-probe the store instead of duplicating the work *)
+  mutable translate_release : (page:int -> key:string -> ok:bool -> unit) option;
+      (** the gate owner is done with [key]; [ok] tells whether a
+          translation was installed.  Called on every exit path out of
+          the translate attempt — a gate owner that failed must still
+          wake its waiters or they block forever *)
+  mutable tcache_touch : (key:string -> unit) option;
+      (** a store entry under [key] was hit or persisted by this VMM —
+          the serve layer pins such keys against budget eviction while
+          the session lives *)
   (* --- supervision (lib/guard attaches here) --- *)
   mutable translate_budget : float option;
       (** wall-clock allowance (seconds) per fresh page translation;
@@ -365,6 +382,7 @@ let tcache_probe t addr =
           Tcache_hit
             { cycle = now t; page = base; vliws = Vec.length page.vliws;
               bytes = page.code_bytes; seconds });
+      (match t.tcache_touch with Some f -> f ~key | None -> ());
       (match t.install_hook with Some f -> f page | None -> ())
     | `Hit _ ->
       t.stats.tcache_corrupt <- t.stats.tcache_corrupt + 1;
@@ -394,6 +412,7 @@ let tcache_persist t (page : Translate.xpage) =
       t.stats.tcache_persists <- t.stats.tcache_persists + 1;
       emit t (fun () ->
           Tcache_persist { cycle = now t; page = page.base; bytes });
+      (match t.tcache_touch with Some f -> f ~key | None -> ());
       (match t.tcache_persist_hook with
       | Some f -> f (Tcache.Store.path_of store key)
       | None -> ())
@@ -490,6 +509,7 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
       translate_hook = None; install_hook = None; page_check = None;
       boundary_hook = None; prefault_hook = None;
       tcache_persist_hook = None;
+      translate_gate = None; translate_release = None; tcache_touch = None;
       translate_budget = None; compile_budget = None; progress_limit = None;
       progress_pc = -1; progress_ticks = 0; tick_hook = None;
       shadow_arm = None; shadow_abort = None; shadow_commit = None }
@@ -790,11 +810,47 @@ let run t ~entry ~fuel =
       (* translation missing: the persistent cache is probed first, and
          only for pages with no in-memory translation at all — a page
          that merely lacks this entry point gets extended in place *)
+      let gate_key = ref None in
       if
         t.tcache <> None
         && (not (Translate.has_entry t.tr addr))
         && not (Translate.translated t.tr addr)
-      then tcache_probe t addr;
+      then begin
+        tcache_probe t addr;
+        (* still missing after the probe: contend for the per-key
+           translate gate so a cold-cache storm translates each content
+           key once instead of once per session.  A single attempt, no
+           retry loop: if the winner failed to install we translate
+           locally — a rare duplicate beats a livelock. *)
+        match (t.translate_gate, t.tcache) with
+        | Some gate, Some store
+          when (not (Translate.has_entry t.tr addr))
+               && not (Translate.translated t.tr addr) -> (
+          let key = tcache_key t store base in
+          match gate ~page:base ~key with
+          | `Proceed ->
+            gate_key := Some key;
+            (* our miss may already be stale: a previous owner can have
+               installed and released between our probe and this win.
+               Installs happen before releases, so one re-probe under
+               ownership closes the window — on a hit the attempt below
+               takes the no-translation path and releases normally *)
+            tcache_probe t addr
+          | `Waited ->
+            (* another session translated this key while we blocked;
+               its install is visible in the store now *)
+            tcache_probe t addr)
+        | _ -> ()
+      end;
+      (* the owner must release on EVERY exit from the attempt below —
+         waiters on this key block until it does *)
+      let release ok =
+        match (!gate_key, t.translate_release) with
+        | Some key, Some f ->
+          gate_key := None;
+          f ~page:base ~key ~ok
+        | _ -> ()
+      in
       (match
          if Translate.has_entry t.tr addr then Translate.entry t.tr addr
          else begin
@@ -826,8 +882,11 @@ let run t ~entry ~fuel =
            res
          end
        with
-      | exception ((Mem.Halted _ | Out_of_fuel | Deliver _) as e) -> raise e
+      | exception ((Mem.Halted _ | Out_of_fuel | Deliver _) as e) ->
+        release false;
+        raise e
       | exception Translate_deadline seconds ->
+        release false;
         (* the translation completed but blew its wall-clock budget:
            throw the work away and quarantine the page, exactly like a
            translator fault — the ladder decides when to retry *)
@@ -837,6 +896,7 @@ let run t ~entry ~fuel =
         record_failure t base;
         recover_at addr
       | exception exn ->
+        release false;
         (* the translator (or an injected fault) blew up: no translated
            state exists for this page, so interpretation covers it *)
         stats.translator_faults <- stats.translator_faults + 1;
@@ -846,6 +906,9 @@ let run t ~entry ~fuel =
         record_failure t base;
         recover_at addr
       | page, id -> (
+        (* the persist already happened inside the attempt, so waiters
+           released here re-probe straight into a hit *)
+        release true;
         t.lru_tick <- t.lru_tick + 1;
         Hashtbl.replace t.lru page.base t.lru_tick;
         (match t.code_budget with

@@ -1,0 +1,390 @@
+(* Tests for the multi-tenant serve layer and the concurrency it leans
+   on: the domain pool, domain-safe metrics/trace sinks, the per-key
+   translate gate, the store under a multi-domain hammer (no
+   corruption, no duplicate translation per content key, stable entry
+   counts), LRU eviction with session pinning, whole fleets over a
+   shared cache, and the daemon's socket protocol end to end. *)
+
+module Store = Tcache.Store
+module Translate = Translator.Translate
+module Metrics = Obs.Metrics
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "daisy_test_serve.%d.%d" (Unix.getpid ()) !n)
+    in
+    Store.mkdir_p d;
+    d
+
+let rm_rf dir =
+  ignore (Store.clear_dir dir);
+  (try Sys.remove (Filename.concat dir ".dtclock") with Sys_error _ -> ());
+  try Sys.rmdir dir with Sys_error _ -> ()
+
+(* --- the domain pool ----------------------------------------------- *)
+
+let test_pool_runs_everything () =
+  let pool = Serve.Pool.create ~domains:4 in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 200 do
+    Serve.Pool.submit pool (fun () -> Atomic.incr hits)
+  done;
+  Serve.Pool.drain pool;
+  Alcotest.(check int) "every job ran" 200 (Atomic.get hits);
+  (* a raising job is contained and the pool keeps going *)
+  Serve.Pool.submit pool (fun () -> failwith "boom");
+  Serve.Pool.submit pool (fun () -> Atomic.incr hits);
+  Serve.Pool.drain pool;
+  Alcotest.(check int) "pool survives a raising job" 201 (Atomic.get hits);
+  Serve.Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown refused"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Serve.Pool.submit pool (fun () -> ()))
+
+(* --- domain-safe observability sinks ------------------------------- *)
+
+let test_metrics_domain_safe () =
+  let m = Metrics.create ~label:"hammer" () in
+  let c = Metrics.counter m "c" in
+  let g = Metrics.gauge m "g" in
+  let h = Metrics.histogram m ~buckets:[ 1.; 10.; 100. ] "h" in
+  let per_domain = 10_000 in
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Metrics.Counter.inc c;
+              Metrics.Gauge.set g (float_of_int i);
+              Metrics.Histogram.observe h (float_of_int ((d * i) mod 150))
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no increment lost" (4 * per_domain)
+    (Metrics.Counter.value c);
+  Alcotest.(check int) "no observation lost" (4 * per_domain) h.Metrics.Histogram.count;
+  let json = Obs.Json.to_string (Metrics.to_json m) in
+  Alcotest.(check bool) "label exported" true
+    (let needle = {|"label":"hammer"|} in
+     let n = String.length needle in
+     let rec scan i =
+       i + n <= String.length json
+       && (String.sub json i n = needle || scan (i + 1))
+     in
+     scan 0)
+
+let test_trace_domain_safe () =
+  let t = Obs.Trace.create ~capacity:256 () in
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 1_000 do
+              Obs.Trace.emit t ~ts:i ~name:(string_of_int d) ~ph:Obs.Trace.I []
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "every emit counted" 4_000 (Obs.Trace.total t);
+  Alcotest.(check int) "ring capped" 256 (Obs.Trace.length t);
+  let seen = ref 0 in
+  Obs.Trace.iter (fun _ -> incr seen) t;
+  Alcotest.(check int) "iter sees the retained tail" 256 !seen
+
+(* --- the translate gate -------------------------------------------- *)
+
+let test_gate_coalesces () =
+  let shared = Serve.Shared.create ~dir:(fresh_dir ()) () in
+  let translated = Atomic.make 0 in
+  let attempts = 64 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to attempts do
+              match Serve.Shared.gate shared ~page:0 ~key:"k" with
+              | `Proceed ->
+                Atomic.incr translated;
+                (* hold the gate long enough that the other domains
+                   actually pile up on it *)
+                ignore (Unix.select [] [] [] 0.001);
+                Serve.Shared.release shared ~page:0 ~key:"k" ~ok:true
+              | `Waited -> ()
+            done))
+  in
+  List.iter Domain.join ds;
+  let s = Serve.Shared.stats shared in
+  Alcotest.(check int) "wins == translations" (Atomic.get translated) s.gate_wins;
+  Alcotest.(check int) "every attempt accounted" (4 * attempts)
+    (s.gate_wins + s.gate_waits);
+  Alcotest.(check bool) "storm actually coalesced" true (s.gate_waits > 0);
+  Alcotest.(check int) "nothing left in flight" 0 s.inflight_keys
+
+let test_gate_failure_releases_waiters () =
+  let shared = Serve.Shared.create ~dir:(fresh_dir ()) () in
+  Alcotest.(check bool) "winner proceeds" true
+    (Serve.Shared.gate shared ~page:0 ~key:"k" = `Proceed);
+  let waited = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        match Serve.Shared.gate shared ~page:0 ~key:"k" with
+        | `Waited -> Atomic.set waited true
+        | `Proceed -> ())
+  in
+  ignore (Unix.select [] [] [] 0.05);
+  (* the winner dies without installing; the waiter must still wake *)
+  Serve.Shared.release shared ~page:0 ~key:"k" ~ok:false;
+  Domain.join d;
+  Alcotest.(check bool) "waiter woke after failed release" true
+    (Atomic.get waited);
+  Alcotest.(check int) "failure counted" 1
+    (Serve.Shared.stats shared).gate_failures;
+  (* and the key is free again for a retry *)
+  Alcotest.(check bool) "key reusable" true
+    (Serve.Shared.gate shared ~page:0 ~key:"k" = `Proceed);
+  Serve.Shared.release shared ~page:0 ~key:"k" ~ok:true
+
+(* --- the store under a multi-domain hammer (the satellite) --------- *)
+
+let translated_page () =
+  let mem, entry =
+    Workloads.Wl.instantiate (Workloads.Registry.by_name "wc")
+  in
+  let tr = Translate.create Translator.Params.default mem in
+  fst (Translate.entry tr entry)
+
+let test_store_hammer () =
+  let dir = fresh_dir () in
+  let shared = Serve.Shared.create ~dir () in
+  let page = translated_page () in
+  let n_keys = 8 and n_domains = 4 and iters = 50 in
+  (* distinct synthetic page contents -> distinct content keys; every
+     domain cycles over the same overlapping key set *)
+  let probe_store =
+    Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"hammer-fp"
+  in
+  let keys =
+    Array.init n_keys (fun i ->
+        Store.key probe_store ~base:page.Translate.base
+          (Printf.sprintf "synthetic page %d" i))
+  in
+  let translations = Array.init n_keys (fun _ -> Atomic.make 0) in
+  let anomalies = Atomic.make 0 in
+  let ds =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            (* each domain opens its OWN handle on the shared dir —
+               cross-handle safety is the point *)
+            let store =
+              Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"hammer-fp"
+            in
+            for i = 0 to iters - 1 do
+              let k = (i + d) mod n_keys in
+              let key = keys.(k) in
+              match Store.probe store ~key with
+              | `Hit (p, _) ->
+                if not (p.Translate.base = page.Translate.base) then
+                  Atomic.incr anomalies
+              | `Corrupt _ | `Skipped _ -> Atomic.incr anomalies
+              | `Miss -> (
+                match Serve.Shared.gate shared ~page:k ~key with
+                | `Proceed -> (
+                  (* the miss may be stale — re-probe under ownership,
+                     exactly like the VMM's gate path does *)
+                  match Store.probe store ~key with
+                  | `Hit _ ->
+                    Serve.Shared.release shared ~page:k ~key ~ok:true
+                  | `Miss ->
+                    Atomic.incr translations.(k);
+                    ignore
+                      (Store.persist store ~key page ~spec_inhibited:false);
+                    Serve.Shared.release shared ~page:k ~key ~ok:true
+                  | `Corrupt _ | `Skipped _ ->
+                    Atomic.incr anomalies;
+                    Serve.Shared.release shared ~page:k ~key ~ok:false)
+                | `Waited -> (
+                  (* the winner released after its persist: we must
+                     see a whole entry now, never a torn one *)
+                  match Store.probe store ~key with
+                  | `Hit _ -> ()
+                  | `Miss | `Corrupt _ | `Skipped _ ->
+                    Atomic.incr anomalies))
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no corruption, no torn reads" 0
+    (Atomic.get anomalies);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "key %d translated exactly once" i)
+        1 (Atomic.get c))
+    translations;
+  Alcotest.(check int) "entry count stable" n_keys
+    (List.length (Store.entry_files dir));
+  List.iter
+    (fun (info : Store.info) ->
+      Alcotest.(check bool) ("entry parses: " ^ info.key) true
+        (info.status = `Ok))
+    (Store.list_dir dir);
+  rm_rf dir
+
+(* --- LRU eviction with pinning ------------------------------------- *)
+
+let test_budget_eviction_and_pinning () =
+  let dir = fresh_dir () in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"evict-fp" in
+  let page = translated_page () in
+  let key i = Store.key store ~base:page.Translate.base (string_of_int i) in
+  let bytes = ref 0 in
+  for i = 0 to 2 do
+    bytes := Store.persist store ~key:(key i) page ~spec_inhibited:false
+  done;
+  (* stagger mtimes: entry 0 oldest, entry 2 newest *)
+  List.iteri
+    (fun i k ->
+      let t = Unix.time () -. float_of_int (300 - (i * 100)) in
+      Unix.utimes (Store.path_of store k) t t)
+    [ key 0; key 1; key 2 ];
+  (* budget for exactly one entry, middle key pinned: both unpinned
+     entries go, oldest included; the pinned one survives *)
+  let r =
+    Store.enforce_budget ~pinned:(fun k -> k = key 1) store ~budget:!bytes
+  in
+  Alcotest.(check int) "two cast out" 2 r.Store.evicted;
+  Alcotest.(check bool) "budget met" false r.Store.pinned_over;
+  Alcotest.(check (list string)) "pinned entry survived"
+    [ key 1 ^ ".dtc" ]
+    (Store.entry_files dir);
+  (* unreachable budget: the pin wins over the budget and says so *)
+  let r = Store.enforce_budget ~pinned:(fun k -> k = key 1) store ~budget:0 in
+  Alcotest.(check int) "nothing evictable" 0 r.Store.evicted;
+  Alcotest.(check bool) "reported as pinned-over" true r.Store.pinned_over;
+  rm_rf dir
+
+let test_probe_refreshes_lru () =
+  let dir = fresh_dir () in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"lru-fp" in
+  let page = translated_page () in
+  let key i = Store.key store ~base:page.Translate.base (string_of_int i) in
+  let bytes = ref 0 in
+  for i = 0 to 1 do
+    bytes := Store.persist store ~key:(key i) page ~spec_inhibited:false
+  done;
+  let old = Unix.time () -. 500. in
+  Unix.utimes (Store.path_of store (key 0)) old old;
+  Unix.utimes (Store.path_of store (key 1)) (old +. 100.) (old +. 100.);
+  (* a hit on the oldest entry promotes it; the other entry is now the
+     LRU victim *)
+  (match Store.probe store ~key:(key 0) with
+  | `Hit _ -> ()
+  | _ -> Alcotest.fail "expected a hit");
+  ignore (Store.enforce_budget store ~budget:!bytes);
+  Alcotest.(check (list string)) "recently-probed entry survived"
+    [ key 0 ^ ".dtc" ]
+    (Store.entry_files dir);
+  rm_rf dir
+
+(* --- fleets over a shared cache ------------------------------------ *)
+
+let test_fleet_cold_then_warm () =
+  let dir = fresh_dir () in
+  let pool = Serve.Pool.create ~domains:4 in
+  let shared = Serve.Shared.create ~dir () in
+  let cold, outcomes =
+    Serve.Fleet.run ~pool ~shared ~sessions:8 [ "wc" ]
+  in
+  Alcotest.(check int) "cold: all verified" 0 cold.Serve.Fleet.failures;
+  Alcotest.(check int) "cold: ids distinct" 8
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun (o : Serve.Session.outcome) -> o.id) outcomes)));
+  (* the gate made the unique page set the whole fleet's translation
+     bill: what one session translates alone bounds what eight did *)
+  let solo = (Vmm.Run.run (Workloads.Registry.by_name "wc")).pages_translated in
+  Alcotest.(check bool)
+    (Printf.sprintf "cold: %d pages for the fleet <= %d for one session"
+       cold.pages_translated solo)
+    true
+    (cold.Serve.Fleet.pages_translated <= solo);
+  let warm, _ =
+    Serve.Fleet.run ~first_id:8 ~pool ~shared ~sessions:8 [ "wc" ]
+  in
+  Serve.Pool.shutdown pool;
+  Alcotest.(check int) "warm: all verified" 0 warm.Serve.Fleet.failures;
+  Alcotest.(check int) "warm: zero pages retranslated" 0
+    warm.Serve.Fleet.pages_translated;
+  Alcotest.(check int) "warm: zero misses" 0 warm.Serve.Fleet.tcache_misses;
+  Alcotest.(check (float 0.0001)) "warm: hit rate 1.0" 1.0
+    warm.Serve.Fleet.hit_rate;
+  Alcotest.(check int) "warm: gate never engaged" 0 warm.Serve.Fleet.gate_wins;
+  Alcotest.(check int) "no pins leak" 0
+    (Serve.Shared.stats shared).pinned_keys;
+  rm_rf dir
+
+(* --- the daemon over its socket ------------------------------------ *)
+
+let test_server_roundtrip () =
+  let dir = fresh_dir () in
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "daisy_test_serve.%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        Serve.Server.serve ~domains:2 ~socket_path ~dir ())
+      ()
+  in
+  Alcotest.(check bool) "daemon came up" true
+    (Serve.Client.wait_ready ~timeout:10. ~socket_path ());
+  let ok req =
+    match Serve.Client.request ~socket_path req with
+    | Serve.Client.Ok_json payload -> payload
+    | Serve.Client.Err msg -> Alcotest.fail (req ^ " -> ERR " ^ msg)
+  in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec scan i =
+      i + n <= String.length hay
+      && (String.sub hay i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check string) "ping" {|"pong"|} (ok "PING");
+  Alcotest.(check bool) "run reports success" true
+    (contains (ok "RUN wc") {|"ok":true|});
+  Alcotest.(check bool) "fleet runs warm off the RUN's entries" true
+    (contains (ok "FLEET 4 wc") {|"pages_translated":0|});
+  Alcotest.(check bool) "stats sees the sessions" true
+    (contains (ok "STATS") {|"sessions_started":5|});
+  (match Serve.Client.request ~socket_path "NOSUCH" with
+  | Serve.Client.Err _ -> ()
+  | Serve.Client.Ok_json _ -> Alcotest.fail "unknown command accepted");
+  ignore (ok "SHUTDOWN");
+  Thread.join server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket_path);
+  rm_rf dir
+
+let () =
+  Alcotest.run "serve"
+    [ ( "pool",
+        [ Alcotest.test_case "runs everything" `Quick test_pool_runs_everything ] );
+      ( "obs",
+        [ Alcotest.test_case "metrics domain-safe" `Quick
+            test_metrics_domain_safe;
+          Alcotest.test_case "trace domain-safe" `Quick test_trace_domain_safe ] );
+      ( "gate",
+        [ Alcotest.test_case "coalesces" `Quick test_gate_coalesces;
+          Alcotest.test_case "failure releases waiters" `Quick
+            test_gate_failure_releases_waiters ] );
+      ( "store",
+        [ Alcotest.test_case "multi-domain hammer" `Slow test_store_hammer;
+          Alcotest.test_case "budget eviction + pinning" `Quick
+            test_budget_eviction_and_pinning;
+          Alcotest.test_case "probe refreshes LRU" `Quick
+            test_probe_refreshes_lru ] );
+      ( "fleet",
+        [ Alcotest.test_case "cold then warm" `Slow test_fleet_cold_then_warm ] );
+      ( "server",
+        [ Alcotest.test_case "socket roundtrip" `Slow test_server_roundtrip ] ) ]
