@@ -321,7 +321,7 @@ let serve_fleet_series () =
         snd (List.nth naive_per_session (i mod List.length naive_per_session)))
     |> List.fold_left ( + ) 0
   in
-  let pool = Serve.Pool.create ~domains in
+  let pool = Serve.Pool.create ~domains () in
   let shared = Serve.Shared.create ~dir () in
   let line tag (r : Serve.Fleet.report) =
     Printf.printf
@@ -357,6 +357,52 @@ let serve_fleet_series () =
         ("naive_pages_translated", J.Int naive);
         ("cold", Serve.Fleet.report_json cold);
         ("warm", Serve.Fleet.report_json warm) ]
+  | exception e ->
+    finish ();
+    raise e
+
+(* Chaos-serving series: a whole fleet under the fault cocktail with
+   per-session deadlines and a tight admission queue — the serving
+   failure model measured rather than asserted.  The numbers that
+   matter: p99 stays bounded, every failure is typed (crash and
+   mismatch stay zero), poisoned cache entries self-heal, and the
+   coordinator ends the run with nothing stuck or leaked. *)
+let serve_chaos_series () =
+  print_newline ();
+  print_endline "Serve chaos: fleet under fault cocktail, deadlines, shedding";
+  print_endline "------------------------------------------------------------";
+  let module J = Obs.Json in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "daisy_bench_chaos.%d" (Unix.getpid ()))
+  in
+  let cfg =
+    { Serve.Chaos.default with
+      sessions = 32; domains = 4; queue_cap = 4; seed = 9;
+      (* generous: "deadlines enforced" is the point, not flakiness *)
+      deadline_ms = Some 30_000 }
+  in
+  let finish () =
+    ignore (Tcache.Store.clear_dir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  match Serve.Chaos.run ~dir cfg with
+  | r, _ ->
+    finish ();
+    Printf.printf
+      "%d sessions  ok %d  deadline %d  cancelled %d  crash %d  mismatch %d\n"
+      r.sessions r.ok r.deadline_failures r.cancelled_failures
+      r.crash_failures r.mismatch_failures;
+    Printf.printf
+      "p50 %.1fms  p99 %.1fms  injected %d  self-heals %d  strikes %d  \
+       sheds %d  retries %d\n"
+      r.p50_ms r.p99_ms r.injected r.self_heals r.ladder_strikes r.sheds
+      r.retries;
+    (match Serve.Chaos.verdict r with
+    | `Clean -> print_endline "contract: clean"
+    | `Violations v ->
+      print_endline ("contract VIOLATED: " ^ String.concat "; " v));
+    Serve.Chaos.report_json r
   | exception e ->
     finish ();
     raise e
@@ -517,9 +563,15 @@ let write_bench_json path micro =
       Printf.printf "serve-fleet series skipped: %s\n" (Printexc.to_string e);
       J.Null
   in
+  let serve_chaos =
+    try serve_chaos_series ()
+    with e ->
+      Printf.printf "serve-chaos series skipped: %s\n" (Printexc.to_string e);
+      J.Null
+  in
   let j =
     J.Obj
-      [ ("schema", J.Str "daisy-bench-v6");
+      [ ("schema", J.Str "daisy-bench-v7");
         ("workloads", J.Arr (List.map workload ws));
         ("mean_ilp_inf", J.Float mean_ilp);
         ("translator", translator);
@@ -530,7 +582,8 @@ let write_bench_json path micro =
         ("checkpoint_overhead_default_mean", J.Float mean_ck_overhead);
         ("obs_overhead", obs_overhead);
         ("obs_overhead_frac_mean", J.Float mean_obs_overhead);
-        ("serve_fleet", serve_fleet) ]
+        ("serve_fleet", serve_fleet);
+        ("serve_chaos", serve_chaos) ]
   in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> J.to_channel oc j);

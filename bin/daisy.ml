@@ -390,7 +390,8 @@ let run_cmd =
     let inject = Option.map Fault.Inject.create faults in
     let watchdog =
       { Guard.Watchdog.translate_s = guard.g_wd_translate;
-        compile_s = guard.g_wd_compile; progress = guard.g_wd_progress }
+        compile_s = guard.g_wd_compile; progress = guard.g_wd_progress;
+        session_s = None }
     in
     let shadow =
       if guard.g_shadow_sample > 0. then
@@ -983,6 +984,12 @@ let tcache_cmd =
           | `Skipped reason -> Printf.printf "skipped: %s (%s)\n" i.key reason
           | `Ok -> ())
         bad;
+      (match Tcache.Store.quarantined_files dir with
+      | [] -> ()
+      | q ->
+        Printf.printf
+          "quarantined:   %d (corrupt entries set aside as .dtc.bad)\n"
+          (List.length q));
       match Tcache.Store.stray_files dir with
       | [] -> ()
       | strays ->
@@ -1063,17 +1070,64 @@ let serve_cmd =
          & info [ "engine" ] ~docv:"ENGINE"
              ~doc:"VLIW execution engine for every session.")
   in
-  let run dir socket_path domains budget checkpoint_root engine params =
+  let queue_cap =
+    Arg.(value & opt (some int) None
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Bound the pool's submit queue at $(docv) waiting \
+                   sessions; past it the daemon sheds load with \
+                   $(b,ERR busy <retry_after_ms>) instead of queueing \
+                   without limit.")
+  in
+  let chaos_cocktail =
+    Arg.(value & flag
+         & info [ "chaos-cocktail" ]
+             ~doc:"Attach the seeded fault-injection cocktail \
+                   (translator crashes, bit-flips, cache poisoning, \
+                   interrupts, fault storms) to every session.  For \
+                   hardening runs: the daemon must absorb all of it.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 0xDA15
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Base seed for --chaos-cocktail; each session derives \
+                   its own injector seed from $(docv) and its id, so a \
+                   fleet is reproducible.")
+  in
+  let run dir socket_path domains budget checkpoint_root engine queue_cap
+      chaos_cocktail chaos_seed params =
     if domains <= 0 then begin
       Printf.eprintf "daisy serve: --domains must be positive\n";
       exit 2
     end;
+    (match queue_cap with
+    | Some c when c < 0 ->
+      Printf.eprintf "daisy serve: --queue-cap must be >= 0\n";
+      exit 2
+    | _ -> ());
     check_writable_dir "cache" dir;
     Option.iter (check_writable_dir "--checkpoint-root") checkpoint_root;
-    Printf.printf "daisy serve: cache %s, %d domains, socket %s\n%!" dir
-      domains socket_path;
+    let session_instrument =
+      if not chaos_cocktail then None
+      else
+        Some
+          (fun ~id vmm ->
+            Fault.Inject.attach
+              (Fault.Inject.create
+                 { Fault.Inject.cocktail with
+                   seed = chaos_seed + (id * 0x9E3779B9) })
+              vmm)
+    in
+    Printf.printf "daisy serve: cache %s, %d domains, socket %s%s\n%!" dir
+      domains socket_path
+      (if chaos_cocktail then
+         Printf.sprintf " (chaos cocktail, seed %#x)" chaos_seed
+       else "");
     match
       Serve.Server.serve ~params ~engine ?budget ?checkpoint_root ~domains
+        ?queue_cap ?session_instrument
+        ~ignore_mem:
+          (if chaos_cocktail then [ Workloads.Wl.interrupt_count_addr ]
+           else [])
         ~socket_path ~dir ()
     with
     | sessions ->
@@ -1084,15 +1138,18 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ dir $ socket_arg $ domains $ budget $ checkpoint_root
-          $ engine $ params_term)
+          $ engine $ queue_cap $ chaos_cocktail $ chaos_seed $ params_term)
 
 let client_cmd =
   let doc =
     "Drive a running $(b,daisy serve) daemon.  COMMAND is one of \
-     $(b,ping), $(b,run) $(i,WORKLOAD), $(b,fleet) $(i,N) \
-     $(i,WORKLOAD..), $(b,stats), $(b,shutdown).  Prints the daemon's \
-     JSON reply.  Exits 0 on an OK reply, 1 on a daemon-reported error, \
-     2 when the daemon is unreachable or the request is malformed."
+     $(b,ping), $(b,run) $(i,WORKLOAD) [$(i,DEADLINE_MS)], $(b,fleet) \
+     $(i,N) $(i,WORKLOAD..) [$(i,DEADLINE_MS)], $(b,stats), \
+     $(b,health), $(b,shutdown).  Prints the daemon's JSON reply.  \
+     Exit codes distinguish the failure planes: 0 on an OK reply, 3 on \
+     a daemon-reported $(b,ERR) reply (deadline, mismatch, busy after \
+     retries, ...), 4 when no daemon answers (connect refused, hung \
+     up), 2 on a protocol violation or a malformed request."
   in
   let words =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"COMMAND")
@@ -1103,30 +1160,53 @@ let client_cmd =
              ~doc:"Poll the daemon up to $(docv) before sending, for \
                    scripts that just forked it.")
   in
-  let run socket_path wait words =
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry the request up to $(docv) extra times under \
+                   jittered exponential backoff when the daemon sheds \
+                   it ($(b,ERR busy), honoring the server's \
+                   retry_after_ms hint) or is unreachable.")
+  in
+  let run socket_path wait retries words =
     let req =
       match words with
       | cmd :: rest ->
         String.concat " " (String.uppercase_ascii cmd :: rest)
       | [] -> assert false  (* non_empty *)
     in
+    if retries < 0 then begin
+      Printf.eprintf "daisy client: --retries must be >= 0\n";
+      exit 2
+    end;
     if wait > 0. && not (Serve.Client.wait_ready ~timeout:wait ~socket_path ())
     then begin
       Printf.eprintf "daisy client: daemon at %s not ready after %.1fs\n"
         socket_path wait;
-      exit 2
+      exit 4
     end;
-    match Serve.Client.request ~socket_path req with
+    let send () =
+      if retries = 0 then Serve.Client.request ~socket_path req
+      else
+        Serve.Client.request_retry
+          ~policy:{ Serve.Retry.default with attempts = retries + 1 }
+          ~socket_path req
+    in
+    match send () with
     | Serve.Client.Ok_json payload ->
       if payload <> "" then print_endline payload
-    | Serve.Client.Err msg ->
-      Printf.eprintf "daisy client: %s\n" msg;
-      exit 1
+    | Serve.Client.Err { cls; detail } ->
+      Printf.eprintf "daisy client: ERR %s %s\n" cls detail;
+      exit 3
     | exception Serve.Client.Unreachable msg ->
+      Printf.eprintf "daisy client: %s\n" msg;
+      exit 4
+    | exception Serve.Client.Protocol msg ->
       Printf.eprintf "daisy client: %s\n" msg;
       exit 2
   in
-  Cmd.v (Cmd.info "client" ~doc) Term.(const run $ socket_arg $ wait $ words)
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ socket_arg $ wait $ retries $ words)
 
 let fuzz_cmd =
   let doc =

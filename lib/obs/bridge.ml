@@ -124,6 +124,7 @@ let on_event b (ev : Monitor.event) =
   | Quarantine _ -> crash b "quarantine"
   | Deadline _ -> crash b "deadline"
   | Shadow_divergence _ -> crash b "divergence"
+  | Tcache_quarantine _ -> crash b "tcache-quarantine"
   | _ -> ());
   match b.tracer with
   | None -> ()
@@ -196,6 +197,7 @@ let record_result m (r : Vmm.Run.result) =
   c "tcache_hits" s.tcache_hits;
   c "tcache_misses" s.tcache_misses;
   c "tcache_corrupt" s.tcache_corrupt;
+  c "tcache_quarantined" s.tcache_quarantined;
   c "tcache_persists" s.tcache_persists;
   c "tcache_evicts" s.tcache_evicts;
   c "tcache_skipped" s.tcache_skipped;

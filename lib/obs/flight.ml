@@ -157,6 +157,9 @@ let render (ev : Monitor.event) :
   | Tcache_corrupt { cycle; page; reason } ->
     ( cycle, "tcache_corrupt", Trace.I,
       [ ("page", Json.Int page); ("reason", Json.Str reason) ] )
+  | Tcache_quarantine { cycle; page; reason } ->
+    ( cycle, "tcache_quarantine", Trace.I,
+      [ ("page", Json.Int page); ("reason", Json.Str reason) ] )
   | Tcache_persist { cycle; page; bytes } ->
     ( cycle, "tcache_persist", Trace.I,
       [ ("page", Json.Int page); ("bytes", Json.Int bytes) ] )

@@ -1,22 +1,57 @@
 (* The `daisy client` side of the serve protocol: connect, send one
    request line, read one reply line.  Kept dependency-free of the
    server internals so it doubles as the protocol's reference
-   consumer. *)
+   consumer.
+
+   Three failure planes, kept distinct because callers must react
+   differently to each:
+   - [Err {cls; detail}]: the daemon answered and said no.  The class
+     is machine-readable (`busy` carries a retry hint, `deadline` /
+     `mismatch` / `crash` / `cancelled` describe the session, `proto`
+     means our request was malformed).
+   - [Unreachable]: no daemon answered — connect refused, or it hung
+     up before replying.  Retryable by definition.
+   - [Protocol]: something answered but not in protocol — a reply line
+     that is neither `OK ...` nor `ERR ...`.  NOT retryable; we are
+     probably talking to the wrong socket. *)
 
 type reply =
-  | Ok_json of string   (** the JSON payload after "OK " *)
-  | Err of string       (** the daemon's error message *)
+  | Ok_json of string  (** the JSON payload after "OK " *)
+  | Err of { cls : string; detail : string }
+      (** the daemon's typed refusal: class + human detail *)
 
 exception Unreachable of string
   (** could not connect / daemon hung up before replying *)
 
+exception Protocol of string
+  (** the peer replied outside the OK/ERR protocol *)
+
 let parse_reply line =
+  let after prefix =
+    let n = String.length prefix in
+    String.sub line n (String.length line - n)
+  in
   if line = "OK" then Ok_json ""
   else if String.length line >= 3 && String.sub line 0 3 = "OK " then
-    Ok_json (String.sub line 3 (String.length line - 3))
-  else if String.length line >= 4 && String.sub line 0 4 = "ERR " then
-    Err (String.sub line 4 (String.length line - 4))
-  else Err ("malformed reply: " ^ line)
+    Ok_json (after "OK ")
+  else if String.length line >= 4 && String.sub line 0 4 = "ERR " then begin
+    let rest = after "ERR " in
+    match String.index_opt rest ' ' with
+    | Some i ->
+      Err
+        { cls = String.sub rest 0 i;
+          detail = String.sub rest (i + 1) (String.length rest - i - 1) }
+    | None -> Err { cls = rest; detail = "" }
+  end
+  else raise (Protocol ("malformed reply: " ^ line))
+
+(** A shed reply's backoff hint, in seconds: `ERR busy <retry_after_ms>`. *)
+let retry_after_s = function
+  | Err { cls = "busy"; detail } ->
+    Option.map
+      (fun ms -> float_of_int ms /. 1000.)
+      (int_of_string_opt (String.trim detail))
+  | _ -> None
 
 (** Send [request] (no trailing newline) to the daemon at
     [socket_path]; one round trip per call. *)
@@ -46,19 +81,50 @@ let request ~socket_path req =
       | exception End_of_file ->
         raise (Unreachable "daemon closed the connection without replying"))
 
+(** [request] with the retry contract applied: `busy` sheds and
+    [Unreachable] daemons are retried under [policy]'s jittered
+    exponential backoff (a shed's retry_after_ms hint overrides the
+    computed sleep); every other reply — OK or a typed failure — is
+    final and returned as-is.  [deadline] (absolute) bounds the whole
+    exchange.  Gives up with the last shed reply or re-raises the last
+    [Unreachable]. *)
+let request_retry ?policy ?seed ?deadline ~socket_path req =
+  let outcome =
+    Retry.run ?policy ?seed ?deadline (fun ~attempt:_ ->
+        match request ~socket_path req with
+        | Ok_json _ as r -> `Ok r
+        | Err _ as r -> (
+          match retry_after_s r with
+          | Some hint -> `Retry (`Busy r, Some hint)
+          | None ->
+            if (match r with Err e -> e.cls = "busy" | _ -> false) then
+              (* busy without a parseable hint: still retryable *)
+              `Retry (`Busy r, None)
+            else `Fail r)
+        | exception Unreachable msg -> `Retry (`Down msg, None))
+  in
+  match outcome with
+  | Ok r | Error (`Fail r) -> r
+  | Error (`Exhausted (`Busy r)) -> r
+  | Error (`Exhausted (`Down msg)) -> raise (Unreachable msg)
+
 (** Poll [request "PING"] until the daemon answers or [timeout] elapses
-    — the race-free way to wait for a freshly-forked daemon to bind. *)
+    — the race-free way to wait for a freshly-forked daemon to bind.
+    Backoff is jittered-exponential from 10ms, capped at 250ms: fast
+    enough to catch a quick daemon, decorrelated enough that a fleet of
+    waiting clients does not stampede the listener the moment it
+    binds. *)
 let wait_ready ?(timeout = 10.0) ~socket_path () =
   let deadline = Unix.gettimeofday () +. timeout in
-  let rec go () =
-    match request ~socket_path "PING" with
-    | Ok_json _ -> true
-    | Err _ -> true  (* it answered; that's ready enough *)
-    | exception Unreachable _ ->
-      if Unix.gettimeofday () > deadline then false
-      else begin
-        ignore (Unix.select [] [] [] 0.05);
-        go ()
-      end
+  let policy =
+    { Retry.attempts = max_int; base_s = 0.01; max_s = 0.25;
+      multiplier = 2.0; jitter = 0.5 }
   in
-  go ()
+  match
+    Retry.run ~policy ~deadline (fun ~attempt:_ ->
+        match request ~socket_path "PING" with
+        | Ok_json _ | Err _ -> `Ok ()  (* it answered; ready enough *)
+        | exception Unreachable _ -> `Retry ((), None))
+  with
+  | Ok () -> true
+  | Error _ -> false

@@ -1,11 +1,20 @@
 (* Fleet driver: N sessions through the domain pool against one shared
    cache, plus the aggregate numbers the serve economics are judged by
    — warm-hit rate, session-latency quantiles, and how much of a
-   cold-cache translate storm the gate actually coalesced. *)
+   cold-cache translate storm the gate actually coalesced.
+
+   Failures are typed (see {!Session.failure}) and the report carries a
+   per-class breakdown: a chaos run that shows 40 deadline failures and
+   0 crashes is a healthy system under an aggressive budget; the same
+   totals with the classes swapped is a broken one. *)
 
 type report = {
   sessions : int;
   failures : int;  (** sessions whose run raised or failed verification *)
+  mismatch_failures : int;   (** per-class breakdown of [failures] *)
+  deadline_failures : int;
+  cancelled_failures : int;
+  crash_failures : int;
   wall_seconds : float;  (** whole-fleet wall clock *)
   p50_ms : float;  (** session-latency quantiles, nearest-rank *)
   p99_ms : float;
@@ -13,6 +22,7 @@ type report = {
   tcache_misses : int;
   hit_rate : float;     (** hits / (hits + misses); 1.0 when no probes *)
   pages_translated : int;  (** fresh translation work across the fleet *)
+  tcache_quarantined : int;  (** corrupt entries self-healed, summed *)
   gate_wins : int;      (** unique translations granted by the gate *)
   gate_waits : int;     (** duplicate requests coalesced into waiting *)
   gate_failures : int;
@@ -31,9 +41,15 @@ let quantile_ms sorted q =
     from [workloads].  Session ids start at [first_id] so successive
     fleets over one daemon stay distinguishable in labels and
     checkpoint paths.  Gate/eviction numbers are deltas over this fleet
-    only, even when [shared] is reused across fleets. *)
-let run ?params ?engine ?checkpoint_root ?(first_id = 0) ~pool ~shared
-    ~sessions workloads =
+    only, even when [shared] is reused across fleets.
+
+    [deadline_at] passes through to every session; [instrument] is
+    keyed by session id so per-session attachments (fault injectors
+    seeded per id, say) land on the right VMM.  A session the pool
+    sheds at shutdown surfaces as a [Cancelled] outcome, not a
+    silently dropped slot. *)
+let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?ignore_mem
+    ?(first_id = 0) ~pool ~shared ~sessions workloads =
   if sessions <= 0 then invalid_arg "Fleet.run: sessions must be positive";
   if workloads = [] then invalid_arg "Fleet.run: no workloads";
   let wl = Array.of_list workloads in
@@ -41,12 +57,17 @@ let run ?params ?engine ?checkpoint_root ?(first_id = 0) ~pool ~shared
   let before = Shared.stats shared in
   let t0 = Unix.gettimeofday () in
   for i = 0 to sessions - 1 do
-    Pool.submit pool (fun () ->
+    let id = first_id + i and workload = wl.(i mod Array.length wl) in
+    Pool.submit
+      ~cancel:(fun () ->
+        out.(i) <- Some (Session.cancelled ~id ~workload "pool shut down"))
+      pool
+      (fun () ->
         out.(i) <-
           Some
-            (Session.run ?params ?engine ?checkpoint_root ~shared
-               ~id:(first_id + i)
-               wl.(i mod Array.length wl)))
+            (Session.run ?params ?engine ?checkpoint_root ?deadline_at
+               ?instrument:(Option.map (fun f -> f ~id) instrument)
+               ?ignore_mem ~shared ~id workload))
   done;
   Pool.drain pool;
   let wall_seconds = Unix.gettimeofday () -. t0 in
@@ -56,8 +77,17 @@ let run ?params ?engine ?checkpoint_root ?(first_id = 0) ~pool ~shared
     |> List.filter_map Fun.id
     |> List.sort (fun (a : Session.outcome) b -> compare a.id b.id)
   in
-  (* a dropped slot (job never ran — pool torn down mid-fleet) counts
-     as a failure alongside mismatches and crashes *)
+  (* a dropped slot (job vanished without even a cancel) still counts
+     as a failure alongside the typed ones *)
+  let by_class cls =
+    List.length
+      (List.filter
+         (fun (o : Session.outcome) ->
+           match o.result with
+           | Error f -> Session.failure_class f = cls
+           | Ok _ -> false)
+         outcomes)
+  in
   let failures =
     sessions - List.length outcomes
     + List.length (List.filter (fun o -> not (Session.ok o)) outcomes)
@@ -75,13 +105,19 @@ let run ?params ?engine ?checkpoint_root ?(first_id = 0) ~pool ~shared
   in
   Array.sort compare lat;
   let report =
-    { sessions; failures; wall_seconds;
+    { sessions; failures;
+      mismatch_failures = by_class "mismatch";
+      deadline_failures = by_class "deadline";
+      cancelled_failures = by_class "cancelled";
+      crash_failures = by_class "crash";
+      wall_seconds;
       p50_ms = quantile_ms lat 0.5; p99_ms = quantile_ms lat 0.99;
       tcache_hits = hits; tcache_misses = misses;
       hit_rate =
         (if hits + misses = 0 then 1.0
          else float_of_int hits /. float_of_int (hits + misses));
       pages_translated = stat (fun r -> r.pages_translated);
+      tcache_quarantined = stat (fun r -> r.stats.tcache_quarantined);
       gate_wins = after.gate_wins - before.gate_wins;
       gate_waits = after.gate_waits - before.gate_waits;
       gate_failures = after.gate_failures - before.gate_failures;
@@ -94,12 +130,17 @@ let report_json r =
   let open Obs.Json in
   Obj
     [ ("sessions", Int r.sessions); ("failures", Int r.failures);
+      ("mismatch_failures", Int r.mismatch_failures);
+      ("deadline_failures", Int r.deadline_failures);
+      ("cancelled_failures", Int r.cancelled_failures);
+      ("crash_failures", Int r.crash_failures);
       ("wall_seconds", Float r.wall_seconds);
       ("p50_ms", Float r.p50_ms); ("p99_ms", Float r.p99_ms);
       ("tcache_hits", Int r.tcache_hits);
       ("tcache_misses", Int r.tcache_misses);
       ("hit_rate", Float r.hit_rate);
       ("pages_translated", Int r.pages_translated);
+      ("tcache_quarantined", Int r.tcache_quarantined);
       ("gate_wins", Int r.gate_wins); ("gate_waits", Int r.gate_waits);
       ("gate_failures", Int r.gate_failures);
       ("evictions", Int r.evictions);

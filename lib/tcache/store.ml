@@ -271,6 +271,34 @@ let evict t ~key:k =
       | () -> true
       | exception Sys_error _ -> false)
 
+(** Quarantine the entry under [key]: set the file aside as
+    [<key>.dtc.bad] instead of deleting it, so a corrupt or truncated
+    entry found under load stops poisoning probes immediately while the
+    bytes stay on disk for a post-mortem.  The next translation of the
+    page persists over the entry name and heals the cache; the [.bad]
+    file is invisible to probes, budgets and [stray_files], and is
+    removed by [clear_dir].  Repeated quarantines of one key overwrite
+    the previous corpse.  Tells whether an entry was actually there. *)
+let quarantine t ~key:k =
+  let path = path_of t k in
+  with_dir_lock ~dir:t.dir ~lock_fd:t.lock_fd (fun () ->
+      match Sys.rename path (path ^ ".bad") with
+      | () -> true
+      | exception Sys_error _ -> (
+        (* cross-device or odd fs: fall back to plain eviction *)
+        match Sys.remove path with
+        | () -> true
+        | exception Sys_error _ -> false))
+
+(** Quarantined corpses ([*.dtc.bad]) currently in [dir]. *)
+let quarantined_files dir =
+  match Sys.readdir dir with
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".dtc.bad")
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
 (* ------------------------------------------------------------------ *)
 (* Admission / eviction                                                 *)
 
@@ -382,6 +410,7 @@ let stray_files dir =
     |> List.filter (fun f ->
            (not (Filename.check_suffix f ".dtc"))
            && (not (Filename.check_suffix f ".tmp"))
+           && (not (Filename.check_suffix f ".dtc.bad"))
            && f <> lock_file)
     |> List.sort compare
   | exception Sys_error _ -> []
@@ -433,7 +462,8 @@ let clear_dir dir =
   let ours, strays =
     List.partition
       (fun f ->
-        Filename.check_suffix f ".dtc" || Filename.check_suffix f ".tmp")
+        Filename.check_suffix f ".dtc" || Filename.check_suffix f ".tmp"
+        || Filename.check_suffix f ".dtc.bad")
       all
   in
   let removed, unremovable =

@@ -52,6 +52,9 @@ type stats = {
   mutable tcache_hits : int;      (** pages installed from the persistent cache *)
   mutable tcache_misses : int;
   mutable tcache_corrupt : int;   (** entries rejected (truncated, bad version…) *)
+  mutable tcache_quarantined : int;
+      (** corrupt entries set aside on disk so the next translation
+          heals the cache instead of every session re-tripping on them *)
   mutable tcache_persists : int;  (** fresh translations written out *)
   mutable tcache_evicts : int;    (** entries dropped after invalidation *)
   mutable tcache_skipped : int;   (** unreadable / non-entry paths ignored *)
@@ -82,6 +85,7 @@ let fresh_stats () =
     syscalls = 0; external_interrupts = 0; adaptive_retranslations = 0;
     code_invalidations = 0; stall_cycles = 0; itlb_misses = 0;
     tcache_hits = 0; tcache_misses = 0; tcache_corrupt = 0;
+    tcache_quarantined = 0;
     tcache_persists = 0; tcache_evicts = 0; tcache_skipped = 0;
     translator_faults = 0; exec_faults = 0; quarantines = 0;
     degrade_retries = 0; interp_pinned = 0;
@@ -162,6 +166,9 @@ type event =
     }
   | Tcache_miss of { cycle : int; page : int }
   | Tcache_corrupt of { cycle : int; page : int; reason : string }
+  | Tcache_quarantine of { cycle : int; page : int; reason : string }
+      (** a corrupt entry was set aside on disk ([.dtc.bad]); the gate
+          winner's retranslation will persist a fresh entry in its place *)
   | Tcache_persist of { cycle : int; page : int; bytes : int }
   | Tcache_evict of { cycle : int; page : int }
   | Tcache_skipped of { cycle : int; page : int; reason : string }
@@ -365,7 +372,10 @@ let tcache_key t store base =
 
 (* Probe the store for [addr]'s page and install the decoded
    translation; any anomaly counts as corrupt and falls through to a
-   normal translate. *)
+   normal translate.  A corrupt entry is also *quarantined* — set aside
+   on disk — so under a shared cache one poisoned file costs one
+   retranslation by the gate winner instead of a corrupt-parse per
+   session per probe, and the winner's persist heals the key. *)
 let tcache_probe t addr =
   match t.tcache with
   | None -> ()
@@ -373,6 +383,15 @@ let tcache_probe t addr =
     let base = Translate.page_base t.tr addr in
     let key = tcache_key t store base in
     let t0 = Sys.time () in
+    let corrupt reason =
+      t.stats.tcache_corrupt <- t.stats.tcache_corrupt + 1;
+      emit t (fun () -> Tcache_corrupt { cycle = now t; page = base; reason });
+      if Tcache.Store.quarantine store ~key then begin
+        t.stats.tcache_quarantined <- t.stats.tcache_quarantined + 1;
+        emit t (fun () ->
+            Tcache_quarantine { cycle = now t; page = base; reason })
+      end
+    in
     (match Tcache.Store.probe store ~key with
     | `Hit (page, spec_inhibited) when page.base = base ->
       let seconds = Sys.time () -. t0 in
@@ -384,17 +403,11 @@ let tcache_probe t addr =
               bytes = page.code_bytes; seconds });
       (match t.tcache_touch with Some f -> f ~key | None -> ());
       (match t.install_hook with Some f -> f page | None -> ())
-    | `Hit _ ->
-      t.stats.tcache_corrupt <- t.stats.tcache_corrupt + 1;
-      emit t (fun () ->
-          Tcache_corrupt
-            { cycle = now t; page = base; reason = "page base mismatch" })
+    | `Hit _ -> corrupt "page base mismatch"
     | `Miss ->
       t.stats.tcache_misses <- t.stats.tcache_misses + 1;
       emit t (fun () -> Tcache_miss { cycle = now t; page = base })
-    | `Corrupt reason ->
-      t.stats.tcache_corrupt <- t.stats.tcache_corrupt + 1;
-      emit t (fun () -> Tcache_corrupt { cycle = now t; page = base; reason })
+    | `Corrupt reason -> corrupt reason
     | `Skipped reason ->
       t.stats.tcache_skipped <- t.stats.tcache_skipped + 1;
       emit t (fun () -> Tcache_skipped { cycle = now t; page = base; reason }))

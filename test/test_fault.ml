@@ -131,6 +131,39 @@ let test_tcache_poison () =
   Alcotest.(check (option int)) "warm exit" (Some 4691) warm.exit_code;
   ignore (Tcache.Store.clear_dir dir)
 
+let test_tcache_quarantine_self_heals () =
+  let dir = fresh_dir () in
+  let w = Workloads.Registry.by_name "wc" in
+  let cold = Run.run ~tcache_dir:dir w in
+  Alcotest.(check bool) "entries persisted" true
+    (cold.stats.tcache_persists > 0);
+  (* truncate one entry mid-file: a torn write / partial disk failure *)
+  let victim =
+    Filename.concat dir (List.hd (Tcache.Store.entry_files dir))
+  in
+  let s = In_channel.with_open_bin victim In_channel.input_all in
+  Out_channel.with_open_bin victim (fun oc ->
+      Out_channel.output_string oc (String.sub s 0 (String.length s / 2)));
+  (* warm start: the corrupt entry is detected, QUARANTINED (set aside
+     as .dtc.bad, off the probe path), and retranslated — the run
+     itself still verifies *)
+  let warm = Run.run ~tcache_dir:dir w in
+  Alcotest.(check bool) "corruption detected" true
+    (warm.stats.tcache_corrupt > 0);
+  Alcotest.(check bool) "corrupt entry quarantined" true
+    (warm.stats.tcache_quarantined > 0);
+  Alcotest.(check (option int)) "warm run still verifies" (Some 4691)
+    warm.exit_code;
+  Alcotest.(check bool) "quarantine file set aside for post-mortem" true
+    (Tcache.Store.quarantined_files dir <> []);
+  (* the retranslation was re-persisted: a third run is fully warm *)
+  let healed = Run.run ~tcache_dir:dir w in
+  Alcotest.(check int) "healed run sees no corruption" 0
+    healed.stats.tcache_corrupt;
+  Alcotest.(check int) "healed run translates nothing" 0
+    healed.pages_translated;
+  ignore (Tcache.Store.clear_dir dir)
+
 let test_cocktail_registry () =
   (* the acceptance gate: every class at a nonzero rate, all eight
      workloads, all verifying identically *)
@@ -253,6 +286,8 @@ let () =
             test_interrupts_transparent;
           Alcotest.test_case "page-fault storms" `Slow test_storms;
           Alcotest.test_case "tcache poisoning" `Quick test_tcache_poison;
+          Alcotest.test_case "tcache quarantine self-heals" `Quick
+            test_tcache_quarantine_self_heals;
           Alcotest.test_case "full cocktail" `Slow test_cocktail_registry ] );
       ( "detectability",
         [ Alcotest.test_case "open tip raises" `Quick test_open_tip_raises;

@@ -28,7 +28,7 @@ let rm_rf dir =
 (* --- the domain pool ----------------------------------------------- *)
 
 let test_pool_runs_everything () =
-  let pool = Serve.Pool.create ~domains:4 in
+  let pool = Serve.Pool.create ~domains:4 () in
   let hits = Atomic.make 0 in
   for _ = 1 to 200 do
     Serve.Pool.submit pool (fun () -> Atomic.incr hits)
@@ -44,6 +44,76 @@ let test_pool_runs_everything () =
   Alcotest.check_raises "submit after shutdown refused"
     (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
       Serve.Pool.submit pool (fun () -> ()))
+
+(* A job that occupies a runner until released — the scaffolding for
+   every bounded-queue test below. *)
+let blocker () =
+  let release = Atomic.make false and started = Atomic.make false in
+  let job () =
+    Atomic.set started true;
+    while not (Atomic.get release) do
+      ignore (Unix.select [] [] [] 0.002)
+    done
+  in
+  let wait_started () =
+    while not (Atomic.get started) do
+      ignore (Unix.select [] [] [] 0.002)
+    done
+  in
+  (job, wait_started, fun () -> Atomic.set release true)
+
+let test_pool_bounded_queue () =
+  let pool = Serve.Pool.create ~queue_cap:2 ~domains:1 () in
+  let job, wait_started, release = blocker () in
+  Serve.Pool.submit pool job;
+  wait_started ();
+  let ran = Atomic.make 0 and cancelled = Atomic.make 0 in
+  let submit () =
+    Serve.Pool.try_submit
+      ~cancel:(fun () -> Atomic.incr cancelled)
+      pool
+      (fun () -> Atomic.incr ran)
+  in
+  Alcotest.(check bool) "first queued" true (submit () = `Accepted);
+  Alcotest.(check bool) "second queued" true (submit () = `Accepted);
+  (match submit () with
+  | `Busy d -> Alcotest.(check int) "busy reports the depth" 2 d
+  | `Accepted | `Closed -> Alcotest.fail "expected `Busy at capacity");
+  Alcotest.(check int) "depth counts queued only" 2 (Serve.Pool.depth pool);
+  Alcotest.(check int) "active counts running only" 1 (Serve.Pool.active pool);
+  release ();
+  Serve.Pool.drain pool;
+  Alcotest.(check int) "admitted jobs all ran" 2 (Atomic.get ran);
+  Serve.Pool.shutdown pool;
+  Alcotest.(check bool) "closed after shutdown" true (submit () = `Closed);
+  Alcotest.(check int) "no spurious cancels" 0 (Atomic.get cancelled)
+
+let test_pool_shutdown_cancels_queued () =
+  let pool = Serve.Pool.create ~domains:1 () in
+  let job, wait_started, release = blocker () in
+  Serve.Pool.submit pool job;
+  wait_started ();
+  let ran = Atomic.make 0 and cancelled = Atomic.make 0 in
+  for _ = 1 to 5 do
+    Serve.Pool.submit
+      ~cancel:(fun () -> Atomic.incr cancelled)
+      pool
+      (fun () -> Atomic.incr ran)
+  done;
+  (* shutdown joins the runner, which is parked in [job]; release it
+     from a helper thread so the join can complete *)
+  let t =
+    Thread.create
+      (fun () ->
+        ignore (Unix.select [] [] [] 0.05);
+        release ())
+      ()
+  in
+  Serve.Pool.shutdown pool;
+  Thread.join t;
+  Alcotest.(check int) "queued jobs were not run" 0 (Atomic.get ran);
+  Alcotest.(check int) "every queued job saw its cancel" 5
+    (Atomic.get cancelled)
 
 (* --- domain-safe observability sinks ------------------------------- *)
 
@@ -289,7 +359,7 @@ let test_probe_refreshes_lru () =
 
 let test_fleet_cold_then_warm () =
   let dir = fresh_dir () in
-  let pool = Serve.Pool.create ~domains:4 in
+  let pool = Serve.Pool.create ~domains:4 () in
   let shared = Serve.Shared.create ~dir () in
   let cold, outcomes =
     Serve.Fleet.run ~pool ~shared ~sessions:8 [ "wc" ]
@@ -322,6 +392,127 @@ let test_fleet_cold_then_warm () =
     (Serve.Shared.stats shared).pinned_keys;
   rm_rf dir
 
+(* --- session supervision: typed failures, clean teardown ----------- *)
+
+let test_session_typed_failures () =
+  let dir = fresh_dir () in
+  let shared = Serve.Shared.create ~dir () in
+  (* unknown workload: a typed Crash outcome, never an exception *)
+  let o = Serve.Session.run ~shared ~id:0 "no-such-workload" in
+  (match o.result with
+  | Error (Serve.Session.Crash _) -> ()
+  | _ -> Alcotest.fail "expected Crash for an unknown workload");
+  (* a deadline that expired in the queue: typed, and nothing ran *)
+  let o =
+    Serve.Session.run
+      ~deadline_at:(Unix.gettimeofday () -. 1.)
+      ~shared ~id:1 "wc"
+  in
+  (match o.result with
+  | Error (Serve.Session.Deadline _) -> ()
+  | _ -> Alcotest.fail "expected Deadline for a pre-expired budget");
+  Alcotest.(check (float 0.001)) "pre-expired session did no work" 0. o.seconds;
+  (* an in-flight budget: the watchdog unwinds at a commit boundary;
+     the instrument slows every boundary down so the budget must trip
+     regardless of host speed *)
+  let o =
+    Serve.Session.run
+      ~deadline_at:(Unix.gettimeofday () +. 0.02)
+      ~instrument:(fun vmm ->
+        let prev = vmm.Vmm.Monitor.tick_hook in
+        vmm.Vmm.Monitor.tick_hook <-
+          Some
+            (fun ~pc ->
+              ignore (Unix.select [] [] [] 0.002);
+              match prev with Some f -> f ~pc | None -> ()))
+      ~shared ~id:2 "wc"
+  in
+  (match o.result with
+  | Error (Serve.Session.Deadline s) ->
+    Alcotest.(check bool) "deadline carries elapsed seconds" true (s > 0.)
+  | _ -> Alcotest.fail "expected Deadline from the in-flight watchdog");
+  (* whatever the failure, no session leaks pins into the coordinator *)
+  Alcotest.(check int) "no pins leaked by failed sessions" 0
+    (Serve.Shared.stats shared).pinned_keys;
+  Alcotest.(check int) "no gates left in flight" 0
+    (Serve.Shared.stats shared).inflight_keys;
+  rm_rf dir
+
+(* --- corrupt-entry self-healing (the satellite) -------------------- *)
+
+let test_fleet_corrupt_entry_self_heals () =
+  let dir = fresh_dir () in
+  let pool = Serve.Pool.create ~domains:4 () in
+  let shared = Serve.Shared.create ~dir () in
+  let cold, _ = Serve.Fleet.run ~pool ~shared ~sessions:4 [ "wc" ] in
+  Alcotest.(check int) "cold fleet clean" 0 cold.Serve.Fleet.failures;
+  (* flip one bit in the middle of an installed entry on disk *)
+  let victim = List.hd (Store.entry_files dir) in
+  let path = Filename.concat dir victim in
+  let b =
+    Bytes.of_string (In_channel.with_open_bin path In_channel.input_all)
+  in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+  (* a warm fleet over the poisoned cache: the first prober quarantines
+     the entry, the gate winner retranslates, nobody fails *)
+  let warm, _ = Serve.Fleet.run ~first_id:4 ~pool ~shared ~sessions:8 [ "wc" ] in
+  Alcotest.(check int) "corruption surfaced to no session" 0
+    warm.Serve.Fleet.failures;
+  Alcotest.(check bool) "poisoned entry was quarantined" true
+    (warm.Serve.Fleet.tcache_quarantined >= 1);
+  Alcotest.(check bool) "gate winner retranslated the page" true
+    (warm.Serve.Fleet.pages_translated >= 1);
+  Alcotest.(check bool) "quarantine file set aside for ops" true
+    (Store.quarantined_files dir <> []);
+  (* healed: the next fleet runs fully warm again *)
+  let healed, _ =
+    Serve.Fleet.run ~first_id:12 ~pool ~shared ~sessions:4 [ "wc" ]
+  in
+  Serve.Pool.shutdown pool;
+  Alcotest.(check int) "healed fleet clean" 0 healed.Serve.Fleet.failures;
+  Alcotest.(check int) "healed fleet retranslates nothing" 0
+    healed.Serve.Fleet.pages_translated;
+  rm_rf dir
+
+(* --- the chaos harness --------------------------------------------- *)
+
+let test_chaos_invariants () =
+  let dir = fresh_dir () in
+  let r, outcomes =
+    Serve.Chaos.run ~dir
+      { Serve.Chaos.default with
+        sessions = 16; domains = 4; queue_cap = 2; seed = 11 }
+  in
+  (match Serve.Chaos.verdict r with
+  | `Clean -> ()
+  | `Violations v ->
+    let details =
+      List.filter_map
+        (fun (o : Serve.Session.outcome) ->
+          match o.result with
+          | Error f ->
+            Some
+              (Printf.sprintf "#%d %s: %s" o.id
+                 (Serve.Session.failure_class f)
+                 (Serve.Session.failure_detail f))
+          | Ok _ -> None)
+        outcomes
+    in
+    Alcotest.fail
+      ("chaos contract violated: " ^ String.concat "; " v ^ " ["
+      ^ String.concat " | " details ^ "]"));
+  Alcotest.(check bool) "cocktail actually fired" true (r.Serve.Chaos.injected > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "tight queue cap actually shed (sheds=%d)"
+       r.Serve.Chaos.sheds)
+    true
+    (r.Serve.Chaos.sheds > 0);
+  Alcotest.(check bool) "shed submissions were retried in" true
+    (r.Serve.Chaos.retries > 0);
+  rm_rf dir
+
 (* --- the daemon over its socket ------------------------------------ *)
 
 let test_server_roundtrip () =
@@ -341,7 +532,8 @@ let test_server_roundtrip () =
   let ok req =
     match Serve.Client.request ~socket_path req with
     | Serve.Client.Ok_json payload -> payload
-    | Serve.Client.Err msg -> Alcotest.fail (req ^ " -> ERR " ^ msg)
+    | Serve.Client.Err { cls; detail } ->
+      Alcotest.fail (Printf.sprintf "%s -> ERR %s %s" req cls detail)
   in
   let contains hay needle =
     let n = String.length needle in
@@ -359,17 +551,148 @@ let test_server_roundtrip () =
   Alcotest.(check bool) "stats sees the sessions" true
     (contains (ok "STATS") {|"sessions_started":5|});
   (match Serve.Client.request ~socket_path "NOSUCH" with
-  | Serve.Client.Err _ -> ()
+  | Serve.Client.Err { cls; _ } ->
+    Alcotest.(check string) "unknown command is a proto error" "proto" cls
   | Serve.Client.Ok_json _ -> Alcotest.fail "unknown command accepted");
+  (* a RUN whose deadline passed while queued gets a typed deadline
+     failure, never a hang or an untyped crash *)
+  (match Serve.Client.request ~socket_path "RUN wc 0" with
+  | Serve.Client.Err { cls; _ } ->
+    Alcotest.(check string) "expired budget is a deadline error" "deadline"
+      cls
+  | Serve.Client.Ok_json _ -> Alcotest.fail "0ms deadline reported success");
+  let health = ok "HEALTH" in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) ("HEALTH carries " ^ field) true
+        (contains health ("\"" ^ field ^ "\":")))
+    [ "queue_depth"; "inflight_sessions"; "sheds"; "deadline_failures";
+      "crash_failures"; "ladder_strikes"; "self_heals" ];
+  Alcotest.(check bool) "HEALTH counted the deadline failure" true
+    (contains health {|"deadline_failures":1|});
   ignore (ok "SHUTDOWN");
   Thread.join server;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket_path);
   rm_rf dir
 
+let test_server_sheds_and_client_retries () =
+  let dir = fresh_dir () in
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "daisy_test_shed.%d.sock" (Unix.getpid ()))
+  in
+  (* queue_cap 0: every RUN sheds — deterministic busy replies *)
+  let server =
+    Thread.create
+      (fun () ->
+        Serve.Server.serve ~domains:1 ~queue_cap:0 ~socket_path ~dir ())
+      ()
+  in
+  Alcotest.(check bool) "daemon came up" true
+    (Serve.Client.wait_ready ~timeout:10. ~socket_path ());
+  (match Serve.Client.request ~socket_path "RUN wc" with
+  | Serve.Client.Err { cls = "busy"; detail } ->
+    (match
+       Serve.Client.retry_after_s (Serve.Client.Err { cls = "busy"; detail })
+     with
+    | Some s -> Alcotest.(check bool) "retry hint >= 25ms" true (s >= 0.025)
+    | None -> Alcotest.fail ("busy without parseable hint: " ^ detail))
+  | Serve.Client.Err { cls; _ } -> Alcotest.fail ("expected busy, got " ^ cls)
+  | Serve.Client.Ok_json _ -> Alcotest.fail "cap-0 daemon accepted a RUN");
+  (* the retry helper keeps retrying busy replies, then gives up with
+     the last shed reply rather than raising *)
+  (match
+     Serve.Client.request_retry
+       ~policy:
+         { Serve.Retry.attempts = 3; base_s = 0.002; max_s = 0.01;
+           multiplier = 2.0; jitter = 0.5 }
+       ~seed:42 ~socket_path "RUN wc"
+   with
+  | Serve.Client.Err { cls = "busy"; _ } -> ()
+  | _ -> Alcotest.fail "expected busy after exhausted retries");
+  (* every shed was counted; PING and HEALTH still answer instantly *)
+  (match Serve.Client.request ~socket_path "HEALTH" with
+  | Serve.Client.Ok_json payload ->
+    let contains needle =
+      let n = String.length needle in
+      let rec scan i =
+        i + n <= String.length payload
+        && (String.sub payload i n = needle || scan (i + 1))
+      in
+      scan 0
+    in
+    Alcotest.(check bool) "sheds counted (>= 4)" true
+      (contains {|"sheds":4|} || contains {|"sheds":5|}
+      || contains {|"sheds":6|})
+  | _ -> Alcotest.fail "HEALTH failed under shedding");
+  (match Serve.Client.request ~socket_path "SHUTDOWN" with
+  | Serve.Client.Ok_json _ -> ()
+  | _ -> Alcotest.fail "SHUTDOWN failed");
+  Thread.join server;
+  rm_rf dir
+
+let test_server_shutdown_wakes_queued () =
+  let dir = fresh_dir () in
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "daisy_test_wake.%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Thread.create
+      (fun () -> Serve.Server.serve ~domains:1 ~socket_path ~dir ())
+      ()
+  in
+  Alcotest.(check bool) "daemon came up" true
+    (Serve.Client.wait_ready ~timeout:10. ~socket_path ());
+  (* occupy the single domain with a fleet, stack RUNs behind it, then
+     shut down: every queued client must get a reply — typed cancelled
+     if it was still queued, OK if it slipped in first.  The assertion
+     is liveness: all the joins below complete. *)
+  let fleet =
+    Thread.create
+      (fun () -> ignore (Serve.Client.request ~socket_path "FLEET 6 wc"))
+      ()
+  in
+  ignore (Unix.select [] [] [] 0.05);
+  let replies = Array.make 3 None in
+  let runs =
+    Array.init 3 (fun i ->
+        Thread.create
+          (fun () ->
+            replies.(i) <-
+              Some
+                (try
+                   match Serve.Client.request ~socket_path "RUN wc" with
+                   | Serve.Client.Ok_json _ -> "ok"
+                   | Serve.Client.Err { cls; _ } -> cls
+                 with Serve.Client.Unreachable _ -> "unreachable"))
+          ())
+  in
+  ignore (Unix.select [] [] [] 0.05);
+  (match Serve.Client.request ~socket_path "SHUTDOWN" with
+  | Serve.Client.Ok_json _ -> ()
+  | _ -> Alcotest.fail "SHUTDOWN failed");
+  Array.iter Thread.join runs;
+  Thread.join fleet;
+  Thread.join server;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some ("ok" | "cancelled" | "deadline") -> ()
+      | Some other ->
+        Alcotest.fail (Printf.sprintf "RUN %d got unexpected reply %s" i other)
+      | None -> Alcotest.fail (Printf.sprintf "RUN %d never replied" i))
+    replies;
+  rm_rf dir
+
 let () =
   Alcotest.run "serve"
     [ ( "pool",
-        [ Alcotest.test_case "runs everything" `Quick test_pool_runs_everything ] );
+        [ Alcotest.test_case "runs everything" `Quick test_pool_runs_everything;
+          Alcotest.test_case "bounded queue sheds" `Quick
+            test_pool_bounded_queue;
+          Alcotest.test_case "shutdown cancels queued" `Quick
+            test_pool_shutdown_cancels_queued ] );
       ( "obs",
         [ Alcotest.test_case "metrics domain-safe" `Quick
             test_metrics_domain_safe;
@@ -384,7 +707,18 @@ let () =
             test_budget_eviction_and_pinning;
           Alcotest.test_case "probe refreshes LRU" `Quick
             test_probe_refreshes_lru ] );
+      ( "session",
+        [ Alcotest.test_case "typed failures" `Slow test_session_typed_failures ] );
       ( "fleet",
-        [ Alcotest.test_case "cold then warm" `Slow test_fleet_cold_then_warm ] );
+        [ Alcotest.test_case "cold then warm" `Slow test_fleet_cold_then_warm;
+          Alcotest.test_case "corrupt entry self-heals" `Slow
+            test_fleet_corrupt_entry_self_heals ] );
+      ( "chaos",
+        [ Alcotest.test_case "invariants under cocktail" `Slow
+            test_chaos_invariants ] );
       ( "server",
-        [ Alcotest.test_case "socket roundtrip" `Slow test_server_roundtrip ] ) ]
+        [ Alcotest.test_case "socket roundtrip" `Slow test_server_roundtrip;
+          Alcotest.test_case "sheds and client retries" `Slow
+            test_server_sheds_and_client_retries;
+          Alcotest.test_case "shutdown wakes queued" `Slow
+            test_server_shutdown_wakes_queued ] ) ]
