@@ -407,6 +407,95 @@ let serve_chaos_series () =
     finish ();
     raise e
 
+(* Tier-promotion series: what the tier-2 superblock scheduler buys on
+   the hot-region workloads.  Three measured points per workload:
+
+     tier1     — the one-pass page translator alone (the baseline);
+     cold      — tier-2 enabled from a cold cache: the background
+                 compile, swap-in and deopt machinery all on the run's
+                 critical path, promotion landing mid-run;
+     warm      — the same run again over the persisted region image:
+                 the whole run executes promoted, which is the honest
+                 "ILP on promoted regions" number;
+
+   plus the traditional-VLIW-compiler reference (whole-program static
+   compilation, the ceiling tier-2 approaches).  The acceptance bar:
+   warm ILP strictly above tier-1 on both c_sieve (single hot page,
+   wider window) and compress (cross-page SCC, speculation across the
+   former page boundary).  Promotion runs --tier2-sync equivalent
+   (inline compiles) so the series is deterministic. *)
+let tier_promotion_series () =
+  print_newline ();
+  print_endline "Tier-2 promotion: tier-1 vs cold promotion vs warm start";
+  print_endline "--------------------------------------------------------";
+  let module J = Obs.Json in
+  let sync_cfg = { Obs.Tier.default with submit = None } in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let w = Workloads.Registry.by_name name in
+        let dir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "daisy_bench_tier.%d.%s" (Unix.getpid ()) name)
+        in
+        let tier1, tier1_s = time (fun () -> Vmm.Run.run w) in
+        let run_tier () =
+          let captured = ref None in
+          let r =
+            Vmm.Run.run ~tcache_dir:dir
+              ~instrument:(fun vmm ->
+                captured := Some vmm;
+                ignore (Obs.Tier.attach ~cfg:sync_cfg vmm))
+              w
+          in
+          (r, Option.get !captured)
+        in
+        let (cold, cold_vmm), cold_s = time run_tier in
+        let (warm, warm_vmm), warm_s = time run_tier in
+        let trad = Vmm.Run.run ~params:(Baseline.Tradcomp.params w) w in
+        ignore (Tcache.Store.clear_dir dir);
+        (try Sys.rmdir dir with Sys_error _ -> ());
+        let ns_per_insn r s =
+          s *. 1e9 /. float_of_int (max 1 r.Vmm.Run.base_insns)
+        in
+        let mips r s = float_of_int r.Vmm.Run.base_insns /. s /. 1e6 in
+        Printf.printf
+          "%-10s ILP %.2f -> %.2f cold -> %.2f warm (tradcomp %.2f)\n"
+          name tier1.ilp_inf cold.ilp_inf warm.ilp_inf trad.ilp_inf;
+        Printf.printf
+          "           promotions %d (%.1f ms compile), deopts %d, region \
+           VLIWs %d/%d, %.0f -> %.0f emulated KIPS\n"
+          cold_vmm.Vmm.Monitor.stats.tier2_promotions
+          (cold_vmm.stats.tier2_compile_seconds *. 1e3)
+          cold_vmm.stats.tier2_deopts warm_vmm.stats.tier2_vliws warm.vliws
+          (mips tier1 tier1_s *. 1e3)
+          (mips warm warm_s *. 1e3);
+        J.Obj
+          [ ("name", J.Str name);
+            ("tier1_ilp_inf", J.Float tier1.ilp_inf);
+            ("cold_ilp_inf", J.Float cold.ilp_inf);
+            ("warm_ilp_inf", J.Float warm.ilp_inf);
+            ("tradcomp_ilp_inf", J.Float trad.ilp_inf);
+            ("promotions", J.Int cold_vmm.stats.tier2_promotions);
+            ("deopts", J.Int cold_vmm.stats.tier2_deopts);
+            ("compile_ms",
+             J.Float (cold_vmm.stats.tier2_compile_seconds *. 1e3));
+            ("cold_region_vliws", J.Int cold_vmm.stats.tier2_vliws);
+            ("warm_region_vliws", J.Int warm_vmm.stats.tier2_vliws);
+            ("tier1_ns_per_insn", J.Float (ns_per_insn tier1 tier1_s));
+            ("cold_ns_per_insn", J.Float (ns_per_insn cold cold_s));
+            ("warm_ns_per_insn", J.Float (ns_per_insn warm warm_s));
+            ("tier1_mips", J.Float (mips tier1 tier1_s));
+            ("warm_mips", J.Float (mips warm warm_s)) ])
+      [ "c_sieve"; "compress" ]
+  in
+  J.Arr rows
+
 (* Host-throughput series: wall-clock speed of the two VLIW execution
    engines over the whole registry.  This is the fleet-migration metric
    — nanoseconds of host time per emulated base instruction — measured
@@ -569,9 +658,16 @@ let write_bench_json path micro =
       Printf.printf "serve-chaos series skipped: %s\n" (Printexc.to_string e);
       J.Null
   in
+  let tier_promotion =
+    try tier_promotion_series ()
+    with e ->
+      Printf.printf "tier-promotion series skipped: %s\n"
+        (Printexc.to_string e);
+      J.Null
+  in
   let j =
     J.Obj
-      [ ("schema", J.Str "daisy-bench-v7");
+      [ ("schema", J.Str "daisy-bench-v8");
         ("workloads", J.Arr (List.map workload ws));
         ("mean_ilp_inf", J.Float mean_ilp);
         ("translator", translator);
@@ -583,7 +679,8 @@ let write_bench_json path micro =
         ("obs_overhead", obs_overhead);
         ("obs_overhead_frac_mean", J.Float mean_obs_overhead);
         ("serve_fleet", serve_fleet);
-        ("serve_chaos", serve_chaos) ]
+        ("serve_chaos", serve_chaos);
+        ("tier_promotion", tier_promotion) ]
   in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> J.to_channel oc j);

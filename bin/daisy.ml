@@ -106,6 +106,12 @@ let fault_term =
       "Probability of *silently* corrupting a page per install (a branch \
        test's sense is inverted; only shadow verification can catch it)."
   in
+  let sm =
+    rate "fault-selfmod"
+      "Probability per VLIW entry of a same-value byte store into code (a \
+       promoted tier-2 member page when one exists) — semantically inert, \
+       but it must deopt the region / invalidate the page."
+  in
   let sl =
     Arg.(value & opt int 16
          & info [ "fault-storm-length" ] ~docv:"N"
@@ -116,7 +122,7 @@ let fault_term =
          & info [ "fault-cocktail" ]
              ~doc:"Enable every injector class at its default rate.")
   in
-  let make seed tr bf po ir st si sl cocktail =
+  let make seed tr bf po ir st si sm sl cocktail =
     let d = if cocktail then Fault.Inject.cocktail else Fault.Inject.quiet in
     let pick v dflt = if v > 0. then v else dflt in
     let cfg =
@@ -127,16 +133,18 @@ let fault_term =
         interrupt_rate = pick ir d.interrupt_rate;
         storm_rate = pick st d.storm_rate;
         storm_length = sl;
-        silent_rate = pick si d.silent_rate }
+        silent_rate = pick si d.silent_rate;
+        selfmod_rate = pick sm d.selfmod_rate }
     in
     if
       cfg.translator_fault_rate > 0. || cfg.bitflip_rate > 0.
       || cfg.tcache_poison_rate > 0. || cfg.interrupt_rate > 0.
       || cfg.storm_rate > 0. || cfg.silent_rate > 0.
+      || cfg.selfmod_rate > 0.
     then Some cfg
     else None
   in
-  Term.(const make $ seed $ tr $ bf $ po $ ir $ st $ si $ sl $ cocktail)
+  Term.(const make $ seed $ tr $ bf $ po $ ir $ st $ si $ sm $ sl $ cocktail)
 
 (* Shared supervision flags (lib/guard): checkpointing, watchdog
    deadlines and sampled shadow verification. *)
@@ -215,6 +223,85 @@ let guard_term =
   in
   Term.(const make $ ck_dir $ every $ console_out $ shadow_sample $ shadow_seed
         $ shadow_out $ wd_translate $ wd_compile $ wd_progress)
+
+(* Shared --tier2-* flags: the tier-2 promotion driver (lib/obs Tier).
+   Off by default; every threshold flag implies nothing on its own —
+   only --tier2 attaches the driver. *)
+type tier2_opts = {
+  t2_enable : bool;
+  t2_min_heat : int;
+  t2_edge_threshold : int;
+  t2_max_pages : int;
+  t2_check_every : int;
+  t2_max_deopts : int;
+  t2_sync : bool;
+}
+
+let tier2_term =
+  let enable =
+    Arg.(value & flag
+         & info [ "tier2" ]
+             ~doc:"Promote hot pages and inter-page regions to the \
+                   superblock scheduler at run time: wide-window \
+                   re-translation across former page boundaries, atomic \
+                   swap-in, deopt back to tier-1 on any assumption \
+                   failure.")
+  in
+  let d = Obs.Tier.default in
+  let min_heat =
+    Arg.(value & opt int d.Obs.Tier.min_heat
+         & info [ "tier2-min-heat" ] ~docv:"N"
+             ~doc:"Execution weight (VLIWs + interpreted instructions) a \
+                   page must accumulate before promotion.")
+  in
+  let edge_threshold =
+    Arg.(value & opt int d.Obs.Tier.edge_threshold
+         & info [ "tier2-edge-threshold" ] ~docv:"N"
+             ~doc:"Traversal count an exit edge needs to participate in an \
+                   inter-page region candidate.")
+  in
+  let max_pages =
+    Arg.(value & opt int d.Obs.Tier.max_pages
+         & info [ "tier2-max-pages" ] ~docv:"N"
+             ~doc:"Largest member-page set compiled into one region image.")
+  in
+  let check_every =
+    Arg.(value & opt int d.Obs.Tier.check_every
+         & info [ "tier2-check-every" ] ~docv:"N"
+             ~doc:"Committed boundaries between promotion-policy \
+                   evaluations.")
+  in
+  let max_deopts =
+    Arg.(value & opt int d.Obs.Tier.max_deopts
+         & info [ "tier2-max-deopts" ] ~docv:"N"
+             ~doc:"Deopt strikes before a region candidate is blacklisted \
+                   for the rest of the run.")
+  in
+  let sync =
+    Arg.(value & flag
+         & info [ "tier2-sync" ]
+             ~doc:"Compile promoted regions on the execution thread instead \
+                   of a background domain (deterministic timing; used by \
+                   tests).")
+  in
+  let make t2_enable t2_min_heat t2_edge_threshold t2_max_pages t2_check_every
+      t2_max_deopts t2_sync =
+    { t2_enable; t2_min_heat; t2_edge_threshold; t2_max_pages; t2_check_every;
+      t2_max_deopts; t2_sync }
+  in
+  Term.(const make $ enable $ min_heat $ edge_threshold $ max_pages
+        $ check_every $ max_deopts $ sync)
+
+(* The driver config minus [submit], which depends on whether the caller
+   has a background pool to offer. *)
+let tier2_config (o : tier2_opts) ~submit =
+  if not o.t2_enable then None
+  else
+    Some
+      { Obs.Tier.min_heat = o.t2_min_heat;
+        edge_threshold = o.t2_edge_threshold; max_pages = o.t2_max_pages;
+        check_every = o.t2_check_every; max_deopts = o.t2_max_deopts;
+        submit = (if o.t2_sync then None else submit) }
 
 let with_out path f =
   match open_out path with
@@ -346,7 +433,7 @@ let run_cmd =
   let w = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD") in
   let run (w : Workloads.Wl.t) params engine finite trace_out trace_format
       trace_cap metrics_out tcache_dir profile_dir crash_dump_dir no_flight
-      flight_cap faults guard =
+      flight_cap faults guard tier2 =
     if trace_cap <= 0 then begin
       Printf.eprintf "daisy: --trace-cap must be positive\n";
       exit 2
@@ -408,9 +495,23 @@ let run_cmd =
       || Option.is_some flight
     in
     if guard.g_checkpoint_dir <> None then Guard.Supervise.install_sigterm ();
+    (* one background domain for tier-2 region compiles, so promotion
+       never blocks the execution thread; --tier2-sync skips the pool *)
+    let tier2_pool =
+      if tier2.t2_enable && not tier2.t2_sync then
+        Some (Serve.Pool.create ~domains:1 ())
+      else None
+    in
+    let tier2_cfg =
+      tier2_config tier2
+        ~submit:
+          (Option.map
+             (fun pool job -> Serve.Pool.submit pool job)
+             tier2_pool)
+    in
     let instrument =
-      match (bridge, inject, supervised) with
-      | None, None, false -> None
+      match (bridge, inject, supervised, tier2_cfg) with
+      | None, None, false, None -> None
       | _ ->
         Some
           (fun vmm ->
@@ -420,7 +521,12 @@ let run_cmd =
               ignore
                 (Guard.Supervise.attach ?checkpoint_dir:guard.g_checkpoint_dir
                    ~checkpoint_every:guard.g_every ~watchdog ?shadow ?flight
-                   ~workload:w.name vmm))
+                   ~workload:w.name vmm);
+            (* last: the tier driver chains whatever hooks the bridge and
+               supervisor installed, so attachment order is load-bearing *)
+            match tier2_cfg with
+            | Some cfg -> ignore (Obs.Tier.attach ~cfg vmm)
+            | None -> ())
     in
     (* a transparent injected interrupt leaves exactly one architected
        trace: the mini OS's interrupt counter word *)
@@ -450,6 +556,11 @@ let run_cmd =
                                            | None -> "skipped");
         exit 143
     in
+    (match tier2_pool with
+    | Some pool ->
+      Serve.Pool.drain pool;
+      Serve.Pool.shutdown pool
+    | None -> ());
     (match guard.g_console_out with
     | Some path -> with_out path (fun oc -> output_string oc r.console)
     | None -> ());
@@ -494,6 +605,14 @@ let run_cmd =
          %d corrupt, %d skipped\n"
         s.tcache_hits s.tcache_misses s.tcache_persists s.tcache_evicts
         s.tcache_corrupt s.tcache_skipped);
+    (if tier2.t2_enable then
+       let s = r.stats in
+       Printf.printf
+         "tier-2:               %d promotions (%.1f ms compile), %d deopts, \
+          %d region entries, %d region VLIWs, %d off-region exits\n"
+         s.tier2_promotions
+         (s.tier2_compile_seconds *. 1000.)
+         s.tier2_deopts s.tier2_entries s.tier2_vliws s.tier2_offregion_exits);
     (match inject with
     | None -> ()
     | Some i -> Printf.printf "%s\n" (Fault.Inject.report i));
@@ -538,7 +657,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ w $ params_term $ engine $ finite $ trace_out
           $ trace_format $ trace_cap $ metrics_out $ tcache_dir $ profile_dir
-          $ crash_dump_dir $ no_flight $ flight_cap $ fault_term $ guard_term)
+          $ crash_dump_dir $ no_flight $ flight_cap $ fault_term $ guard_term
+          $ tier2_term)
 
 let resume_cmd =
   let doc =
@@ -556,7 +676,7 @@ let resume_cmd =
          & info [ "console-out" ] ~docv:"FILE"
              ~doc:"Write the guest console output to $(docv).")
   in
-  let run dir params console_out =
+  let run dir params console_out tier2 =
     match Guard.Checkpoint.load ~dir with
     | None ->
       Printf.eprintf "daisy: no usable checkpoint in %s\n" dir;
@@ -589,6 +709,14 @@ let resume_cmd =
                 (Guard.Supervise.attach ~checkpoint_dir:dir
                    ~checkpoint_every:snap.s_every
                    ~checkpoint_seq:(snap.s_seq + 1) ~workload:w.name vmm);
+              (* promotion is transparent, so a resumed run needs no
+                 tier-2 state from the interrupted one; re-attaching
+                 simply lets the continuation climb back to tier 2.
+                 Compiles stay synchronous: resume is a recovery path,
+                 determinism beats latency here. *)
+              (match tier2_config tier2 ~submit:None with
+              | Some cfg -> ignore (Obs.Tier.attach ~cfg vmm)
+              | None -> ());
               Some (pc, max 1 ((w.fuel * 2) - consumed)))
             w
         with
@@ -614,6 +742,13 @@ let resume_cmd =
       let s = r.stats in
       Printf.printf "tree VLIWs executed:  %d (+%d interpreted instructions)\n"
         s.vliws s.interp_insns;
+      if tier2.t2_enable then
+        Printf.printf
+          "tier-2:               %d promotions (%.1f ms compile), %d deopts, \
+           %d region entries, %d region VLIWs, %d off-region exits\n"
+          s.tier2_promotions
+          (s.tier2_compile_seconds *. 1000.)
+          s.tier2_deopts s.tier2_entries s.tier2_vliws s.tier2_offregion_exits;
       Printf.printf
         "guard:                %d checkpoints (%.1f ms), %d deadline hits, \
          %d shadow checks, %d divergences\n"
@@ -629,7 +764,7 @@ let resume_cmd =
       end
   in
   Cmd.v (Cmd.info "resume" ~doc)
-    Term.(const run $ dir $ params_term $ console_out)
+    Term.(const run $ dir $ params_term $ console_out $ tier2_term)
 
 let profile_cmd =
   let doc =
@@ -644,7 +779,9 @@ let profile_cmd =
   in
   let top =
     Arg.(value & opt int 20
-         & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) hottest pages.")
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Show the $(docv) hottest pages (and, with \
+                   $(b,--regions), the $(docv) hottest regions).")
   in
   let json_out =
     Arg.(value & opt (some string) None
@@ -768,26 +905,33 @@ let profile_cmd =
            were all traversed that often.\n"
           threshold
       else begin
+        let shown = List.filteri (fun i _ -> i < top) rs in
         Printf.printf
-          "\nHot regions (tier-2 promotion candidates; edges >= %d \
-           traversals):\n"
-          threshold;
+          "\nHot regions (%d of %d; tier-2 promotion candidates; edges >= \
+           %d traversals):\n"
+          (List.length shown) (List.length rs) threshold;
+        let cfg = Obs.Tier.default in
         List.iter
           (fun (r : Obs.Profile.region) ->
+            let verdict =
+              match Obs.Tier.verdict ~cfg r with
+              | Ok heat -> Printf.sprintf "PROMOTE (heat %d)" heat
+              | Error reason -> Printf.sprintf "skip: %s" reason
+            in
             Printf.printf
               "  R%d: %d pages [%s]  %d internal traversals, %d cycles, \
-               %d entries\n"
+               %d entries  -> %s\n"
               r.id (List.length r.rpages)
               (String.concat " "
                  (List.map (Printf.sprintf "0x%x") r.rpages))
-              r.internal_weight r.region_vliws r.region_entries;
+              r.internal_weight r.region_vliws r.region_entries verdict;
             List.iter
               (fun (s, d, k, c) ->
                 Printf.printf "      0x%x -> 0x%x  %-6s %d\n" s d
                   (Obs.Profile.edge_kind_string k)
                   c)
               r.redges)
-          rs
+          shown
       end
     end
   in
@@ -924,6 +1068,24 @@ let tcache_cmd =
       in
       Printf.printf "entries:       %d (%d corrupt)\n" (List.length infos)
         (List.length bad);
+      (* pages and tier-2 region images are different beasts (a region
+         is one superblock-scheduled image over several member pages),
+         so the summary keeps their counts and footprints apart *)
+      let pages, regions =
+        List.partition (fun (i : Tcache.Store.info) -> i.kind = `Page) ok
+      in
+      let bytes_of l =
+        List.fold_left
+          (fun n (i : Tcache.Store.info) -> n + i.file_bytes)
+          0 l
+      in
+      Printf.printf "  pages:       %d (%d bytes)\n" (List.length pages)
+        (bytes_of pages);
+      Printf.printf "  regions:     %d (%d bytes, %d member pages)\n"
+        (List.length regions) (bytes_of regions)
+        (List.fold_left
+           (fun n (i : Tcache.Store.info) -> n + Array.length i.members)
+           0 regions);
       Printf.printf "file bytes:    %d\n"
         (sum (fun (i : Tcache.Store.info) -> i.file_bytes));
       Printf.printf "tree VLIWs:    %d\n"
@@ -1005,10 +1167,18 @@ let tcache_cmd =
         (fun (i : Tcache.Store.info) ->
           match i.status with
           | `Ok ->
+            let where =
+              match i.kind with
+              | `Page -> Printf.sprintf "base=0x%08x" i.base
+              | `Region ->
+                Printf.sprintf "region[%s]"
+                  (String.concat ","
+                     (List.map (Printf.sprintf "0x%x")
+                        (Array.to_list i.members)))
+            in
             Printf.printf
-              "%s  %-4s base=0x%08x psize=%-7d vliws=%-5d entries=%-4d \
-               %7dB%s\n"
-              i.key i.frontend i.base i.psize i.vliws i.entries i.file_bytes
+              "%s  %-4s %s psize=%-7d vliws=%-5d entries=%-4d %7dB%s\n"
+              i.key i.frontend where i.psize i.vliws i.entries i.file_bytes
               (if i.spec_inhibited then "  spec-off" else "")
           | `Corrupt reason -> Printf.printf "%s  CORRUPT: %s\n" i.key reason
           | `Skipped reason -> Printf.printf "%s  SKIPPED: %s\n" i.key reason)
@@ -1094,7 +1264,7 @@ let serve_cmd =
                    fleet is reproducible.")
   in
   let run dir socket_path domains budget checkpoint_root engine queue_cap
-      chaos_cocktail chaos_seed params =
+      chaos_cocktail chaos_seed params tier2 =
     if domains <= 0 then begin
       Printf.eprintf "daisy serve: --domains must be positive\n";
       exit 2
@@ -1122,9 +1292,12 @@ let serve_cmd =
       (if chaos_cocktail then
          Printf.sprintf " (chaos cocktail, seed %#x)" chaos_seed
        else "");
+    (* sessions already run on pool domains, so each session's tier-2
+       compiles stay synchronous on its own domain *)
+    let tier2 = tier2_config tier2 ~submit:None in
     match
       Serve.Server.serve ~params ~engine ?budget ?checkpoint_root ~domains
-        ?queue_cap ?session_instrument
+        ?queue_cap ?session_instrument ?tier2
         ~ignore_mem:
           (if chaos_cocktail then [ Workloads.Wl.interrupt_count_addr ]
            else [])
@@ -1138,7 +1311,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ dir $ socket_arg $ domains $ budget $ checkpoint_root
-          $ engine $ queue_cap $ chaos_cocktail $ chaos_seed $ params_term)
+          $ engine $ queue_cap $ chaos_cocktail $ chaos_seed $ params_term
+          $ tier2_term)
 
 let client_cmd =
   let doc =

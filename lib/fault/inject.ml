@@ -49,13 +49,23 @@ type config = {
           Only shadow verification (lib/guard) can catch this class;
           it is deliberately not part of {!cocktail}, which asserts
           that every injected fault is caught without a shadow. *)
+  selfmod_rate : float;
+      (** per VLIW entry: a *same-value* byte store into code — a
+          promoted tier-2 member page when one exists, else the page
+          executing now.  Semantically a no-op (the byte does not
+          change), but the store-into-code machinery cannot know that,
+          so it must invalidate the tier-1 page or deopt the tier-2
+          region exactly as a real self-modifying store would.  Kept
+          out of {!cocktail}: zero-rate classes draw nothing from the
+          RNG, so adding a draw would shift every seeded reproducer
+          stream recorded before this class existed. *)
 }
 
 (** All rates zero: attaching this config is a no-op. *)
 let quiet =
   { seed = 0xDA15; translator_fault_rate = 0.; bitflip_rate = 0.;
     tcache_poison_rate = 0.; interrupt_rate = 0.; storm_rate = 0.;
-    storm_length = 16; silent_rate = 0. }
+    storm_length = 16; silent_rate = 0.; selfmod_rate = 0. }
 
 (** Every injector class at a nonzero rate — the acceptance cocktail. *)
 let cocktail =
@@ -82,13 +92,14 @@ type t = {
   mutable n_interrupts : int;
   mutable n_storms : int;
   mutable n_silent : int;
+  mutable n_selfmod : int;
 }
 
 let create cfg =
   { cfg; rng = Random.State.make [| cfg.seed; 0x4641554C |]; storm_left = 0;
     digests = Hashtbl.create 16; corrupted = Hashtbl.create 8;
     n_translator = 0; n_bitflips = 0; n_poisoned = 0; n_interrupts = 0;
-    n_storms = 0; n_silent = 0 }
+    n_storms = 0; n_silent = 0; n_selfmod = 0 }
 
 let chance t p = p > 0. && Random.State.float t.rng 1. < p
 
@@ -242,29 +253,59 @@ let attach t (vmm : Monitor.t) =
             true
           end
           else false);
-  if cfg.storm_rate > 0. then
+  (* The prefault hook is shared: storms force a fault, self-modifying
+     stores write and decline to.  Storm draws come first so a
+     storm-only config's RNG stream is unchanged from before the
+     selfmod class existed ([chance] skips the draw at rate zero). *)
+  let storm () =
+    if t.storm_left > 0 then begin
+      t.storm_left <- t.storm_left - 1;
+      true
+    end
+    else if chance t cfg.storm_rate then begin
+      t.n_storms <- t.n_storms + 1;
+      t.storm_left <- max 0 (cfg.storm_length - 1);
+      true
+    end
+    else false
+  in
+  (* Store a byte of code back over itself: bit-identical memory, but
+     the watch machinery must treat it as self-modification — deopting
+     a promoted region when the byte lands in a member page, else
+     invalidating the executing tier-1 page.  Target preference:
+     the first live region's first member, so runs that promote
+     exercise the deopt path deterministically. *)
+  let selfmod () =
+    if chance t cfg.selfmod_rate then begin
+      let target =
+        match
+          Hashtbl.fold (fun b _ acc ->
+              match acc with Some b' when b' <= b -> acc | _ -> Some b)
+            vmm.regions None
+        with
+        | Some b -> Some b
+        | None -> if vmm.current_page >= 0 then Some vmm.current_page else None
+      in
+      match target with
+      | Some base when base >= 0 && base < Ppc.Mem.size vmm.mem ->
+        Ppc.Mem.store8 vmm.mem base (Ppc.Mem.load8 vmm.mem base);
+        t.n_selfmod <- t.n_selfmod + 1
+      | _ -> ()
+    end;
+    false
+  in
+  if cfg.storm_rate > 0. || cfg.selfmod_rate > 0. then
     vmm.prefault_hook <-
-      Some
-        (fun () ->
-          if t.storm_left > 0 then begin
-            t.storm_left <- t.storm_left - 1;
-            true
-          end
-          else if chance t cfg.storm_rate then begin
-            t.n_storms <- t.n_storms + 1;
-            t.storm_left <- max 0 (cfg.storm_length - 1);
-            true
-          end
-          else false)
+      Some (fun () -> let forced = storm () in ignore (selfmod ()); forced)
 
 (** One line per class: how often each injector actually fired. *)
 let report t =
   Printf.sprintf
     "injected: translator=%d bitflips=%d poisoned=%d interrupts=%d storms=%d \
-     silent=%d"
+     silent=%d selfmod=%d"
     t.n_translator t.n_bitflips t.n_poisoned t.n_interrupts t.n_storms
-    t.n_silent
+    t.n_silent t.n_selfmod
 
 let total t =
   t.n_translator + t.n_bitflips + t.n_poisoned + t.n_interrupts + t.n_storms
-  + t.n_silent
+  + t.n_silent + t.n_selfmod

@@ -121,6 +121,13 @@ let on_event b (ev : Monitor.event) =
     (match b.h_checkpoint with
     | Some h -> Metrics.Histogram.observe h (seconds *. 1000.)
     | None -> ())
+  | Region_promoted { seconds; _ } ->
+    (* tier-2 region compiles land in the same histogram as tier-1 page
+       staging — one latency view of "time spent making code" *)
+    (match b.h_compile with
+    | Some h when seconds > 0. ->
+      Metrics.Histogram.observe h (seconds *. 1000.)
+    | _ -> ())
   | Quarantine _ -> crash b "quarantine"
   | Deadline _ -> crash b "deadline"
   | Shadow_divergence _ -> crash b "divergence"
@@ -213,6 +220,12 @@ let record_result m (r : Vmm.Run.result) =
   c "shadow_checked" s.shadow_checked;
   c "shadow_divergences" s.shadow_divergences;
   c "checkpoints_written" s.checkpoints_written;
+  c "tier2_promotions" s.tier2_promotions;
+  c "tier2_deopts" s.tier2_deopts;
+  c "tier2_entries" s.tier2_entries;
+  c "tier2_vliws" s.tier2_vliws;
+  c "tier2_offregion_exits" s.tier2_offregion_exits;
+  g "tier2_compile_seconds" s.tier2_compile_seconds;
   c "cycles_infinite" r.cycles_infinite;
   c "cycles_finite" r.cycles_finite;
   c "pages_translated" r.pages_translated;

@@ -201,6 +201,15 @@ let render (ev : Monitor.event) :
     ( cycle, "checkpoint", Trace.I,
       [ ("seq", Json.Int seq); ("bytes", Json.Int bytes);
         ("pages", Json.Int pages); ("ms", Json.Float (seconds *. 1000.)) ] )
+  | Region_promoted { cycle; id; pages; insns; vliws; seconds; cached } ->
+    ( cycle, "region_promoted", Trace.I,
+      [ ("id", Json.Int id); ("pages", Json.Int pages);
+        ("insns", Json.Int insns); ("vliws", Json.Int vliws);
+        ("ms", Json.Float (seconds *. 1000.)); ("cached", Json.Bool cached) ] )
+  | Region_deopt { cycle; id; page; reason } ->
+    ( cycle, "region_deopt", Trace.I,
+      [ ("id", Json.Int id); ("page", Json.Int page);
+        ("reason", Json.Str reason) ] )
 
 let ev_json ev =
   let ts, name, ph, args = render ev in

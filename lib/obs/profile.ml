@@ -8,9 +8,16 @@
    are {!Vmm.Monitor.Exit_edge} events — one counter per
    (src, dst, kind) triple.
 
-   Everything in a profile is a sum, so profiles merge commutatively
-   ({!merge}): the persistent store (Pstore) accumulates them across
-   runs and across machines without ordering constraints.
+   Page counters are sums, so they merge commutatively ({!merge}): the
+   persistent store (Pstore) accumulates them across runs and across
+   machines without ordering constraints.  Edge counters hold *per-run
+   means*: a single-run profile's raw counts are trivially its per-run
+   means, and {!merge} combines two profiles by run-weighted average —
+   otherwise heat accumulated over hundreds of `daisy profile merge`s
+   would grow without bound and promote regions that are cold in any
+   individual run.  The weighted mean is symmetric (commutative) and
+   associative up to integer rounding; promotion thresholds therefore
+   read as per-run heat regardless of how many runs fed the profile.
 
    Hot regions: a region worth promoting is a *cycle* of pages — control
    that leaves a page and comes back is what page-at-a-time translation
@@ -142,8 +149,12 @@ let total_entries t =
 
 let total_edges t = Hashtbl.fold (fun _ c acc -> acc + !c) t.edges 0
 
-(** Merge [src] into [into] (pure addition — commutative and
-    associative up to the field sums).  Page sizes must agree; the
+(** Merge [src] into [into].  Page counters add; edge counters combine
+    by run-weighted mean (round-to-nearest), keeping the "edge counts
+    are per-run means" invariant so accumulated profiles never
+    over-promote: an edge traversed 1000 times per run reads 1000
+    whether one run or one hundred fed the profile.  Commutative;
+    associative up to integer rounding.  Page sizes must agree; the
     store keys on page size for exactly this reason. *)
 let merge ~into src =
   if into.page_size <> src.page_size then
@@ -158,10 +169,20 @@ let merge ~into src =
       q.insns_scheduled <- q.insns_scheduled + p.insns_scheduled;
       q.code_bytes <- max q.code_bytes p.code_bytes)
     src.pages;
+  let ri = into.runs and rs = src.runs in
+  let total = ri + rs in
+  let keys = Hashtbl.create (Hashtbl.length into.edges + Hashtbl.length src.edges) in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) into.edges;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) src.edges;
+  let count tbl k = match Hashtbl.find_opt tbl k with Some c -> !c | None -> 0 in
   Hashtbl.iter
-    (fun (s, d, k) c -> edge_n into ~src:s ~dst:d ~kind:k !c)
-    src.edges;
-  into.runs <- into.runs + src.runs
+    (fun key () ->
+      let ci = count into.edges key and cs = count src.edges key in
+      let mean = ((ci * ri) + (cs * rs) + (total / 2)) / total in
+      Hashtbl.remove into.edges key;
+      if mean > 0 then Hashtbl.replace into.edges key (ref mean))
+    keys;
+  into.runs <- total
 
 (* --- hot regions ---------------------------------------------------- *)
 

@@ -35,12 +35,15 @@ type config = {
   deadline_ms : int option;  (** per-session budget, from admission *)
   inject : Fault.Inject.config;  (** rates; per-session seeds derive from [seed] *)
   budget : int option;   (** shared-cache byte budget *)
+  tier2 : Obs.Tier.config option;
+      (** attach tier-2 promotion inside every session, so injected
+          faults also land while regions are live *)
 }
 
 let default =
   { seed = 7; sessions = 32; domains = 4; queue_cap = 8;
     workloads = [ "wc"; "cmp" ]; deadline_ms = None;
-    inject = Fault.Inject.cocktail; budget = None }
+    inject = Fault.Inject.cocktail; budget = None; tier2 = None }
 
 type report = {
   sessions : int;
@@ -97,6 +100,7 @@ let run ?params ?engine ?checkpoint_root ~dir (cfg : config) =
         Some
           (Session.run ?params ?engine ?checkpoint_root ?deadline_at
              ~instrument:(Fault.Inject.attach injectors.(i))
+             ?tier2:cfg.tier2
              ~ignore_mem:
                (* delivered interrupts are counted by the mini OS at a
                   known word the reference interpreter never sees *)

@@ -28,6 +28,8 @@ type report = {
   gate_failures : int;
   evictions : int;
   evicted_bytes : int;
+  tier2_promotions : int;  (** regions promoted to tier-2, summed *)
+  tier2_deopts : int;      (** promotions rolled back, summed *)
 }
 
 let quantile_ms sorted q =
@@ -48,8 +50,8 @@ let quantile_ms sorted q =
     seeded per id, say) land on the right VMM.  A session the pool
     sheds at shutdown surfaces as a [Cancelled] outcome, not a
     silently dropped slot. *)
-let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?ignore_mem
-    ?(first_id = 0) ~pool ~shared ~sessions workloads =
+let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?tier2
+    ?ignore_mem ?(first_id = 0) ~pool ~shared ~sessions workloads =
   if sessions <= 0 then invalid_arg "Fleet.run: sessions must be positive";
   if workloads = [] then invalid_arg "Fleet.run: no workloads";
   let wl = Array.of_list workloads in
@@ -67,7 +69,7 @@ let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?ignore_mem
           Some
             (Session.run ?params ?engine ?checkpoint_root ?deadline_at
                ?instrument:(Option.map (fun f -> f ~id) instrument)
-               ?ignore_mem ~shared ~id workload))
+               ?tier2 ?ignore_mem ~shared ~id workload))
   done;
   Pool.drain pool;
   let wall_seconds = Unix.gettimeofday () -. t0 in
@@ -122,7 +124,9 @@ let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?ignore_mem
       gate_waits = after.gate_waits - before.gate_waits;
       gate_failures = after.gate_failures - before.gate_failures;
       evictions = after.evictions - before.evictions;
-      evicted_bytes = after.evicted_bytes - before.evicted_bytes }
+      evicted_bytes = after.evicted_bytes - before.evicted_bytes;
+      tier2_promotions = stat (fun r -> r.stats.tier2_promotions);
+      tier2_deopts = stat (fun r -> r.stats.tier2_deopts) }
   in
   (report, outcomes)
 
@@ -144,4 +148,6 @@ let report_json r =
       ("gate_wins", Int r.gate_wins); ("gate_waits", Int r.gate_waits);
       ("gate_failures", Int r.gate_failures);
       ("evictions", Int r.evictions);
-      ("evicted_bytes", Int r.evicted_bytes) ]
+      ("evicted_bytes", Int r.evicted_bytes);
+      ("tier2_promotions", Int r.tier2_promotions);
+      ("tier2_deopts", Int r.tier2_deopts) ]

@@ -49,6 +49,8 @@ type t = {
   checkpoint_root : string option;
   session_instrument : (id:int -> Vmm.Monitor.t -> unit) option;
       (** extra per-session hook — fault injection, extra observers *)
+  tier2 : Obs.Tier.config option;
+      (** attach the tier-2 promotion driver to every session *)
   ignore_mem : int list;
       (** verifier word addresses expected to diverge (chaos mode) *)
   (* vitals, all atomics so HEALTH needs no lock *)
@@ -171,7 +173,7 @@ let run_one t ~workload ~deadline_ms =
         ?checkpoint_root:t.checkpoint_root ?deadline_at
         ?instrument:
           (Option.map (fun f -> f ~id) t.session_instrument)
-        ~ignore_mem:t.ignore_mem ~shared:t.shared ~id workload
+        ?tier2:t.tier2 ~ignore_mem:t.ignore_mem ~shared:t.shared ~id workload
     in
     note_outcome t o;
     fill (`Outcome o)
@@ -209,7 +211,8 @@ let run_fleet t ~sessions ~workloads ~deadline_ms =
       Fleet.run ~params:t.params ?engine:t.engine
         ?checkpoint_root:t.checkpoint_root
         ?deadline_at:(deadline_at deadline_ms)
-        ?instrument:t.session_instrument ~ignore_mem:t.ignore_mem ~first_id
+        ?instrument:t.session_instrument ?tier2:t.tier2
+        ~ignore_mem:t.ignore_mem ~first_id
         ~pool:t.pool ~shared:t.shared ~sessions workloads
     with
     | report, outcomes ->
@@ -285,9 +288,10 @@ let handle t fd =
     calling thread; returns the number of sessions started.
     [queue_cap] bounds the pool backlog (load shedding past it);
     [session_instrument] is an extra per-session VMM hook, keyed by
-    session id — the chaos flags use it to attach fault injectors. *)
+    session id — the chaos flags use it to attach fault injectors.
+    [tier2] turns on tier-2 region promotion inside every session. *)
 let serve ?(params = Translator.Params.default) ?engine ?budget
-    ?checkpoint_root ?(domains = 4) ?queue_cap ?session_instrument
+    ?checkpoint_root ?(domains = 4) ?queue_cap ?session_instrument ?tier2
     ?(ignore_mem = []) ~socket_path ~dir () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* a stale socket file from a dead daemon blocks bind; take the name *)
@@ -302,7 +306,7 @@ let serve ?(params = Translator.Params.default) ?engine ?budget
     { socket_path; listener; pool = Pool.create ?queue_cap ~domains ();
       shared = Shared.create ?budget ~dir (); next_id = Atomic.make 0;
       stop = Atomic.make false; params; engine; checkpoint_root;
-      session_instrument; ignore_mem;
+      session_instrument; tier2; ignore_mem;
       sheds = Atomic.make 0; completed = Atomic.make 0;
       f_mismatch = Atomic.make 0; f_deadline = Atomic.make 0;
       f_cancelled = Atomic.make 0; f_crash = Atomic.make 0;

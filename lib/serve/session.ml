@@ -83,10 +83,15 @@ let rec rm_rf path =
     {!Guard.Watchdog} session budget checked at every commit boundary.
     [instrument] is an extra hook over the session's own (fault
     injectors, extra observers); it runs after the session wires its
-    gate/pin hooks, so it may chain them.  [ignore_mem] passes through
-    to {!Vmm.Run.run}'s verifier — word addresses whose divergence is
-    expected (the interrupt count under injection, say). *)
-let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument
+    gate/pin hooks, so it may chain them.  [tier2] attaches the tier-2
+    promotion driver ({!Obs.Tier}) — last, after [instrument], so no
+    other attachment replaces the hooks it chains; promotion compiles
+    run synchronously on the session's own pool domain (a session is
+    already off the accept path, so there is no main loop to protect).
+    [ignore_mem] passes through to {!Vmm.Run.run}'s verifier — word
+    addresses whose divergence is expected (the interrupt count under
+    injection, say). *)
+let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?tier2
     ?(ignore_mem = []) ~shared ~id name =
   let metrics = Obs.Metrics.create ~label:(Printf.sprintf "session-%d" id) () in
   let touched : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -124,7 +129,11 @@ let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument
         { Guard.Watchdog.none with
           session_s = Some (d -. Unix.gettimeofday ()) }
         vmm);
-    match instrument with Some f -> f vmm | None -> ()
+    (match instrument with Some f -> f vmm | None -> ());
+    match tier2 with
+    | None -> ()
+    | Some cfg ->
+      ignore (Obs.Tier.attach ~cfg:{ cfg with Obs.Tier.submit = None } vmm)
   in
   let t0 = Unix.gettimeofday () in
   let result =
@@ -183,4 +192,6 @@ let outcome_json o =
           ("tcache_hits", Int r.stats.tcache_hits);
           ("tcache_misses", Int r.stats.tcache_misses);
           ("tcache_quarantined", Int r.stats.tcache_quarantined);
+          ("tier2_promotions", Int r.stats.tier2_promotions);
+          ("tier2_deopts", Int r.stats.tier2_deopts);
           ("degraded", Bool (Vmm.Run.degraded r.stats)) ])

@@ -23,7 +23,12 @@ module Op = Vliw.Op
 module Translate = Translator.Translate
 module Vec = Translator.Vec
 
-let version = 1
+(* v2: the store header gained an entry-kind byte (page vs tier-2
+   region image) and, for regions, the member-page base list.  The tree
+   payload encoding itself is unchanged, but v1 headers are one byte
+   shorter, so the bump is load-bearing: a v1 cache degrades to a
+   normal translate instead of misparsing. *)
+let version = 2
 
 exception Corrupt of string
 

@@ -14,11 +14,20 @@
 
    File layout (all multi-byte integers via the codec's varints):
 
-     magic "DTCE" | version u8
+     magic "DTCE" | version u8 | kind u8 (0 = page, 1 = region)
      | frontend str | fingerprint str
+     | [kind = 1: member count vint, member bases vint*]
      | base vint | psize vint | spec_inhibited bool
      | vliws vint | entries vint | payload_len vint
      | payload MD5 (16 raw bytes) | payload (Codec.encode_xpage)
+
+   Region entries (tier-2 superblock images) share the directory, the
+   ".dtc" suffix, the budget/LRU machinery and the quarantine path with
+   page entries; they differ only in the kind tag, the member-base list
+   and the key derivation — a region's key covers the *set* of member
+   pages' contents, so a byte change in any member misses.  The
+   fingerprint stored in a region entry is the *region scheduler's*
+   params fingerprint, not the store's tier-1 one.
 
    Crash safety: entries are written to a unique temp file in the same
    directory and [Sys.rename]d into place, so a reader never observes a
@@ -153,6 +162,20 @@ let key t ~base bytes =
        (String.concat "\x00"
           [ t.frontend; t.fingerprint; string_of_int base; bytes ]))
 
+(** The content-addressed key for a tier-2 region image: covers the
+    region scheduler's fingerprint, the sorted member bases and every
+    member page's exact bytes (in member order), so any byte change in
+    any member — or a different member set — is a miss.  The "R" arm
+    keeps region keys out of the page-key space even for a one-member
+    region over identical inputs. *)
+let region_key t ~fingerprint ~members ~bytes =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          ([ t.frontend; fingerprint; "R" ]
+          @ Array.to_list (Array.map string_of_int members)
+          @ bytes)))
+
 let path_of t k = Filename.concat t.dir (k ^ ".dtc")
 
 (* ------------------------------------------------------------------ *)
@@ -160,8 +183,10 @@ let path_of t k = Filename.concat t.dir (k ^ ".dtc")
 
 type header = {
   h_version : int;
+  h_kind : [ `Page | `Region ];
   h_frontend : string;
   h_fingerprint : string;
+  h_members : int array;  (** member tier-1 page bases; [||] for pages *)
   h_base : int;
   h_psize : int;
   h_spec_inhibited : bool;
@@ -184,15 +209,29 @@ let read_file path =
 (* Parse and checksum-verify one entry file; raises {!Codec.Corrupt}. *)
 let parse_entry s =
   let mlen = String.length magic in
-  if String.length s < mlen + 1 then Codec.corrupt "truncated header";
+  if String.length s < mlen + 2 then Codec.corrupt "truncated header";
   if String.sub s 0 mlen <> magic then Codec.corrupt "bad magic";
   let h_version = Char.code s.[mlen] in
   if h_version <> Codec.version then
     Codec.corrupt "version %d (want %d)" h_version Codec.version;
+  let h_kind =
+    match Char.code s.[mlen + 1] with
+    | 0 -> `Page
+    | 1 -> `Region
+    | n -> Codec.corrupt "bad entry kind %d" n
+  in
   let r = Codec.reader s in
-  r.pos <- mlen + 1;
+  r.pos <- mlen + 2;
   let h_frontend = Codec.get_str r in
   let h_fingerprint = Codec.get_str r in
+  let h_members =
+    match h_kind with
+    | `Page -> [||]
+    | `Region ->
+      let n = Codec.get_count r "member" in
+      if n = 0 then Codec.corrupt "region with no members";
+      Array.init n (fun _ -> Codec.get_vint r)
+  in
   let h_base = Codec.get_vint r in
   let h_psize = Codec.get_vint r in
   let h_spec_inhibited = Codec.get_bool r in
@@ -204,8 +243,8 @@ let parse_entry s =
   let sum = String.sub s r.pos 16 in
   let h_payload = String.sub s (r.pos + 16) plen in
   if Digest.string h_payload <> sum then Codec.corrupt "checksum mismatch";
-  { h_version; h_frontend; h_fingerprint; h_base; h_psize; h_spec_inhibited;
-    h_vliws; h_entries; h_payload }
+  { h_version; h_kind; h_frontend; h_fingerprint; h_members; h_base; h_psize;
+    h_spec_inhibited; h_vliws; h_entries; h_payload }
 
 let probe t ~key:k : probe_result =
   let path = path_of t k in
@@ -215,6 +254,7 @@ let probe t ~key:k : probe_result =
   else
     match
       let h = parse_entry (read_file path) in
+      if h.h_kind <> `Page then Codec.corrupt "region entry under page key";
       if h.h_frontend <> t.frontend || h.h_fingerprint <> t.fingerprint then
         Codec.corrupt "fingerprint mismatch";
       let page = Codec.decode_xpage h.h_payload in
@@ -230,18 +270,55 @@ let probe t ~key:k : probe_result =
     | exception Codec.Corrupt msg -> `Corrupt msg
     | exception Sys_error msg -> `Skipped ("io: " ^ msg)
 
+type region_probe_result =
+  [ `Hit of Translator.Translate.xpage * bool * int array
+    (** region image, spec_inhibited, member bases *)
+  | `Miss
+  | `Corrupt of string
+  | `Skipped of string ]
+
+(** Probe for a tier-2 region image.  [fingerprint] is the *region
+    scheduler's* params fingerprint (the caller derived the key with
+    the same one, so a mismatch here means a colliding or tampered
+    entry, not a stale config). *)
+let probe_region t ~key:k ~fingerprint : region_probe_result =
+  let path = path_of t k in
+  if not (Sys.file_exists path) then `Miss
+  else if try Sys.is_directory path with Sys_error _ -> false then
+    `Skipped "is a directory"
+  else
+    match
+      let h = parse_entry (read_file path) in
+      if h.h_kind <> `Region then Codec.corrupt "page entry under region key";
+      if h.h_frontend <> t.frontend || h.h_fingerprint <> fingerprint then
+        Codec.corrupt "fingerprint mismatch";
+      let page = Codec.decode_xpage h.h_payload in
+      if page.base <> h.h_base then Codec.corrupt "base mismatch";
+      (page, h.h_spec_inhibited, h.h_members)
+    with
+    | page, si, members ->
+      (try Unix.utimes path 0. 0. with Unix.Unix_error _ | Sys_error _ -> ());
+      `Hit (page, si, members)
+    | exception Codec.Corrupt msg -> `Corrupt msg
+    | exception Sys_error msg -> `Skipped ("io: " ^ msg)
+
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
 
-(** Persist [page] under [key], atomically (temp file + rename).
-    Returns the entry's size in bytes. *)
-let persist t ~key:k (page : Translator.Translate.xpage) ~spec_inhibited =
+let persist_gen t ~key:k ~kind ~fingerprint ~members
+    (page : Translator.Translate.xpage) ~spec_inhibited =
   let payload = Codec.encode_xpage page in
   let b = Buffer.create (String.length payload + 256) in
   Buffer.add_string b magic;
   Codec.put_u8 b Codec.version;
+  Codec.put_u8 b (match kind with `Page -> 0 | `Region -> 1);
   Codec.put_str b t.frontend;
-  Codec.put_str b t.fingerprint;
+  Codec.put_str b fingerprint;
+  (match kind with
+  | `Page -> ()
+  | `Region ->
+    Codec.put_vint b (Array.length members);
+    Array.iter (Codec.put_vint b) members);
   Codec.put_vint b page.base;
   Codec.put_vint b page.psize;
   Codec.put_bool b spec_inhibited;
@@ -262,6 +339,20 @@ let persist t ~key:k (page : Translator.Translate.xpage) ~spec_inhibited =
          (try Sys.remove tmp with Sys_error _ -> ());
          raise e));
   Buffer.length b
+
+(** Persist [page] under [key], atomically (temp file + rename).
+    Returns the entry's size in bytes. *)
+let persist t ~key:k (page : Translator.Translate.xpage) ~spec_inhibited =
+  persist_gen t ~key:k ~kind:`Page ~fingerprint:t.fingerprint ~members:[||]
+    page ~spec_inhibited
+
+(** Persist a tier-2 region image under [key]: same atomic write, the
+    region kind tag, the member-base list and the region scheduler's
+    [fingerprint]. *)
+let persist_region t ~key:k ~fingerprint ~members
+    (page : Translator.Translate.xpage) ~spec_inhibited =
+  persist_gen t ~key:k ~kind:`Region ~fingerprint ~members page
+    ~spec_inhibited
 
 (** Drop the entry under [key], if present; tells whether one was. *)
 let evict t ~key:k =
@@ -380,8 +471,10 @@ type info = {
   key : string;
   file_bytes : int;
   version : int;
+  kind : [ `Page | `Region ];
   frontend : string;
   fingerprint : string;
+  members : int array;  (** region member bases; [||] for page entries *)
   base : int;
   psize : int;
   spec_inhibited : bool;
@@ -428,9 +521,9 @@ let list_dir dir =
         | exception Unix.Unix_error _ -> 0.
       in
       let blank status =
-        { key; file_bytes = 0; version = 0; frontend = "?"; fingerprint = "?";
-          base = 0; psize = 0; spec_inhibited = false; vliws = 0; entries = 0;
-          mtime; status }
+        { key; file_bytes = 0; version = 0; kind = `Page; frontend = "?";
+          fingerprint = "?"; members = [||]; base = 0; psize = 0;
+          spec_inhibited = false; vliws = 0; entries = 0; mtime; status }
       in
       match
         if try Sys.is_directory path with Sys_error _ -> false then
@@ -442,7 +535,8 @@ let list_dir dir =
         match parse_entry s with
         | h ->
           { key; file_bytes = String.length s; version = h.h_version;
-            frontend = h.h_frontend; fingerprint = h.h_fingerprint;
+            kind = h.h_kind; frontend = h.h_frontend;
+            fingerprint = h.h_fingerprint; members = h.h_members;
             base = h.h_base; psize = h.h_psize;
             spec_inhibited = h.h_spec_inhibited; vliws = h.h_vliws;
             entries = h.h_entries; mtime; status = `Ok }

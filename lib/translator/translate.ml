@@ -59,12 +59,20 @@ type t = {
       (** current run-time value of an architected resource, provided by
           the VMM at translation time; feeds the guarded inlining of
           indirect branches (Chapter 6) *)
+  mutable unit_filter : (int -> bool) option;
+      (** restricts the translation unit to a subset of the page's
+          address range: addresses the filter rejects close as OFFPAGE
+          exits exactly like addresses beyond the page bounds.  The
+          tier-2 region compiler uses this to translate a whole-memory
+          "page" whose valid addresses are the member pages of one hot
+          region — speculation crosses former page boundaries inside the
+          region, and every escape returns to the monitor. *)
   totals : totals;
 }
 
 let create ?(frontend = Frontend.ppc) params mem =
   { params; mem; fe = frontend; pages = Hashtbl.create 64;
-    load_spec_off = Hashtbl.create 4; guard_hint = None;
+    load_spec_off = Hashtbl.create 4; guard_hint = None; unit_filter = None;
     totals = { pages = 0; groups = 0; insns = 0; vliws_made = 0;
                code_bytes = 0; entry_points = 0; invalidations = 0 } }
 
@@ -842,7 +850,10 @@ let rewrite_target p (tconsts : (int, int) Hashtbl.t) (target : Crack.target) =
 (* ------------------------------------------------------------------ *)
 (* Control flow                                                        *)
 
-let in_page g addr = addr >= g.page.base && addr < g.page.base + g.page.psize
+let in_page g addr =
+  addr >= g.page.base
+  && addr < g.page.base + g.page.psize
+  && (match g.tr.unit_filter with None -> true | Some f -> f addr)
 
 let offset_of g addr = addr - g.page.base
 

@@ -76,6 +76,16 @@ type stats = {
   mutable shadow_divergences : int;  (** shadow checks that found a divergence *)
   mutable checkpoints_written : int;
   mutable checkpoint_seconds : float;  (** wall time spent writing checkpoints *)
+  (* --- tiered recompilation (tier-2 regions) --- *)
+  mutable tier2_promotions : int;   (** regions swapped in *)
+  mutable tier2_deopts : int;       (** regions demoted back to tier-1 *)
+  mutable tier2_entries : int;      (** monitor entries into region code *)
+  mutable tier2_vliws : int;        (** VLIWs executed under a region image *)
+  mutable tier2_offregion_exits : int;
+      (** transfers that left a region for tier-1 code (soft exits — the
+          region image guards every escape, so these are not deopts) *)
+  mutable tier2_compile_seconds : float;
+      (** wall time staging region images (subset of compile_seconds) *)
 }
 
 let fresh_stats () =
@@ -92,7 +102,9 @@ let fresh_stats () =
     compiled_pages = 0; compile_seconds = 0.; direct_link_hits = 0;
     spec_log_hwm = 0;
     deadline_hits = 0; shadow_checked = 0; shadow_divergences = 0;
-    checkpoints_written = 0; checkpoint_seconds = 0. }
+    checkpoints_written = 0; checkpoint_seconds = 0.;
+    tier2_promotions = 0; tier2_deopts = 0; tier2_entries = 0;
+    tier2_vliws = 0; tier2_offregion_exits = 0; tier2_compile_seconds = 0. }
 
 (* --- Instrumentation interface -------------------------------------
 
@@ -198,6 +210,18 @@ type event =
       pages : int;    (** dirty memory pages included *)
       seconds : float;
     }
+  | Region_promoted of {
+      cycle : int;
+      id : int;       (** monitor-assigned region ordinal *)
+      pages : int;    (** member tier-1 pages *)
+      insns : int;    (** base instructions scheduled into the image *)
+      vliws : int;    (** tree VLIWs in the region image *)
+      seconds : float;  (** background compile wall time (0. when cached) *)
+      cached : bool;  (** image came from the persistent cache *)
+    }  (** a hot region's superblock image was swapped in atomically *)
+  | Region_deopt of { cycle : int; id : int; page : int; reason : string }
+      (** a region was demoted back to tier-1: member pages unmapped,
+          staged image dropped, persistent entry evicted *)
 
 and deadline_stage =
   | Dtranslate  (** per-page translation wall-clock budget *)
@@ -221,6 +245,27 @@ type health = {
     ([Vliw.Compile]).  Both produce bit-identical architected state;
     [Compiled] is the default. *)
 type engine = Tree | Compiled
+
+(* A promoted tier-2 region: a set of tier-1 pages re-translated as one
+   translation unit through the superblock scheduler (wide window, high
+   join limit, speculation across the former page boundaries).  The
+   image lives in its own single-"page" translator whose [unit_filter]
+   admits exactly the member pages, so every escape from the region is
+   a guarded OFFPAGE exit back to the monitor — promotion never changes
+   where control can go, only how fast it gets there. *)
+type region = {
+  r_id : int;                      (** monitor-assigned ordinal *)
+  r_members : int array;           (** sorted member tier-1 page bases *)
+  r_set : (int, unit) Hashtbl.t;   (** member bases, for O(1) tests *)
+  r_tr : Translate.t;              (** owns the region's single xpage *)
+  mutable r_staged : (Translate.xpage * C.page) option;
+      (** closure-staged form; regions can't live in [t.compiled]
+          because the region xpage's base (0) would collide with a
+          genuine tier-1 page *)
+  mutable r_aliases : int;
+      (** alias rollbacks under this image; crossing the same threshold
+          that triggers tier-1 adaptive retranslation deopts instead *)
+}
 
 type t = {
   tr : Translate.t;
@@ -249,6 +294,21 @@ type t = {
   mutable spec_n : int;
   mutable current_page : int;  (** base of the page we are executing *)
   mutable invalidated : bool;  (** current page's translation was dropped *)
+  (* --- tiered recompilation --- *)
+  regions : (int, region) Hashtbl.t;
+      (** member tier-1 page base -> its promoted region.  [goto_base]
+          consults this first, so installing/removing mappings on the
+          main thread IS the atomic swap: in-flight VLIWs finish under
+          whatever image dispatched them, and the very next transfer
+          lands on the other tier. *)
+  mutable region_seq : int;
+  mutable active_region : region option;
+      (** region currently executing, if any; keyed by physical identity *)
+  mutable promote_pending : bool;
+      (** a region was just installed while execution is direct-linked
+          inside a tier-1 image, which never passes [goto_base]: the
+          next VLIW boundary re-dispatches explicitly if its page now
+          belongs to a region.  One-shot. *)
   mutable pending_selfmod : bool;
       (** the VLIW being checked stores into the page it executes from *)
   mutable fetch_hook : (addr:int -> size:int -> unit) option;
@@ -452,6 +512,58 @@ let tcache_evict t base =
    closure graphs. *)
 let drop_compiled t base = Hashtbl.remove t.compiled base
 
+(* --- Tier-2 regions ------------------------------------------------
+
+   Promotion maps every member tier-1 page base to a [region] record;
+   demotion removes the mappings and drops the staged image.  Both are
+   plain main-thread Hashtbl updates consulted only at [goto_base], so
+   the swap in either direction is atomic with respect to execution:
+   no VLIW ever observes a half-installed region. *)
+
+let member_bytes t base =
+  let len = min t.tr.params.page_size (Mem.size t.mem - base) in
+  Mem.read_string t.mem base len
+
+(* The persistent key of a region image: the *set* of member-page
+   contents (plus the member bases and the region scheduler's
+   fingerprint), so any byte change in any member page — or a different
+   grouping — misses and falls back to a fresh background compile. *)
+let tcache_region_key t store (r : region) =
+  Tcache.Store.region_key store
+    ~fingerprint:(Params.fingerprint r.r_tr.params)
+    ~members:r.r_members
+    ~bytes:(Array.to_list (Array.map (member_bytes t) r.r_members))
+
+let tcache_evict_region t (r : region) =
+  match t.tcache with
+  | None -> ()
+  | Some store ->
+    let key = tcache_region_key t store r in
+    if Tcache.Store.evict store ~key then begin
+      t.stats.tcache_evicts <- t.stats.tcache_evicts + 1;
+      emit t (fun () -> Tcache_evict { cycle = now t; page = r.r_members.(0) })
+    end
+
+(** Demote [r] back to tier-1: unmap every member (only where the
+    mapping still points at [r]), drop the staged image, and evict the
+    persistent region entry.  Callers on the self-modifying-code path
+    run before the member bytes change, so the content key still
+    matches the stale entry being evicted. *)
+let deopt_region t (r : region) ~page ~reason =
+  Array.iter
+    (fun b ->
+      match Hashtbl.find_opt t.regions b with
+      | Some r' when r' == r -> Hashtbl.remove t.regions b
+      | _ -> ())
+    r.r_members;
+  r.r_staged <- None;
+  (match t.active_region with
+  | Some r' when r' == r -> t.active_region <- None
+  | _ -> ());
+  tcache_evict_region t r;
+  t.stats.tier2_deopts <- t.stats.tier2_deopts + 1;
+  emit t (fun () -> Region_deopt { cycle = now t; id = r.r_id; page; reason })
+
 (* --- Speculative-load log ------------------------------------------
 
    Outstanding speculative loads of the current group execution, kept
@@ -510,6 +622,8 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
       spec_addr = Array.make 32 0; spec_bytes = Array.make 32 0;
       spec_seq = Array.make 32 0; spec_n = 0;
       current_page = -1; invalidated = false;
+      regions = Hashtbl.create 4; region_seq = 0; active_region = None;
+      promote_pending = false;
       pending_selfmod = false; fetch_hook = None; access_hook = None;
       interp_fetch_hook = None; timer_interval = None; timer_count = 0;
       alias_tally = Hashtbl.create 8;
@@ -540,6 +654,15 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
     mem.on_store <-
       Some
         (fun addr _n ->
+          (* a store into any member page of a promoted region fails the
+             region's whole-unit assumption: deopt before the bytes
+             change (the stale persistent entry is evicted under its
+             still-matching content key) *)
+          (match Hashtbl.find_opt t.regions (Translate.page_base tr addr) with
+          | Some r ->
+            deopt_region t r ~page:(Translate.page_base tr addr)
+              ~reason:"self-modifying code in member page"
+          | None -> ());
           if Translate.translated tr addr then (
             (* the hook fires before the bytes change, so the page still
                digests to the key the stale entry was stored under *)
@@ -557,6 +680,15 @@ let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
 let overlap (a : Exec.access) (b : Exec.access) =
   a.addr < b.addr + b.bytes && b.addr < a.addr + a.bytes
 
+(* Does a store at [addr] hit code of the unit we are executing?  Under
+   a promoted region any member page counts: instructions later in the
+   VLIW may have been speculated from any of them. *)
+let store_hits_code t addr =
+  let base = addr land lnot (t.tr.params.page_size - 1) in
+  match t.active_region with
+  | Some r -> Hashtbl.mem r.r_set base
+  | None -> base = t.current_page
+
 (* The runtime alias check of Section 2.1 / Table 5.7: a store conflicts
    with a speculative load that is later in program order but already
    executed. *)
@@ -567,8 +699,7 @@ let alias_check t (accesses : Exec.access list) =
   if
     t.tr.params.watch_code
     && List.exists
-      (fun (a : Exec.access) ->
-        a.store && a.addr land lnot (t.tr.params.page_size - 1) = t.current_page)
+      (fun (a : Exec.access) -> a.store && store_hits_code t a.addr)
       accesses
   then (
     t.pending_selfmod <- true;
@@ -593,10 +724,9 @@ let alias_check_c t (s : C.scratch) =
   let selfmod =
     t.tr.params.watch_code
     && begin
-         let mask = lnot (t.tr.params.page_size - 1) in
          let found = ref false in
          for i = 0 to n - 1 do
-           if s.a_store.(i) && s.a_addr.(i) land mask = t.current_page then
+           if s.a_store.(i) && store_hits_code t s.a_addr.(i) then
              found := true
          done;
          !found
@@ -704,6 +834,13 @@ let health t base =
 (** One more strike against [base]: drop whatever translation exists
     and either extend the quarantine or pin the page for good. *)
 let record_failure t base =
+  (* a ladder strike against a member page voids its region's
+     whole-unit assumption too: shadow divergence, execution faults,
+     watchdog deadlines and quarantines all funnel through here, so the
+     deopt triggers are exactly the tier-1 failure triggers *)
+  (match Hashtbl.find_opt t.regions base with
+  | Some r -> deopt_region t r ~page:base ~reason:"ladder strike"
+  | None -> ());
   Translate.invalidate t.tr base;
   drop_compiled t base;
   let h = health t base in
@@ -795,6 +932,101 @@ let page_mode t base =
     else if h.failures > 0 then `Retry
     else `Translate
 
+(** Swap a compiled region image in.  [tr] is the region's dedicated
+    translator (single whole-memory "page", [unit_filter] = the member
+    set) holding the already-translated image; [members] are the sorted
+    tier-1 page bases it covers.  Installation is a set of main-thread
+    Hashtbl writes consulted only at the next [goto_base], so in-flight
+    execution never observes a partial swap.  Refused when any member is
+    already promoted or sits on a ladder rung — the interpreter owns
+    unhealthy pages. *)
+let promote t ~members ~(tr : Translate.t) ?(insns = 0) ?(seconds = 0.)
+    ?(cached = false) () =
+  let healthy b =
+    match Hashtbl.find_opt t.page_health b with
+    | Some h -> h.failures = 0 && not h.pinned_interp
+    | None -> true
+  in
+  if Array.length members = 0 then Error `Empty
+  else if Array.exists (fun b -> Hashtbl.mem t.regions b) members then
+    Error `Already_promoted
+  else if not (Array.for_all healthy members) then Error `Unhealthy
+  else begin
+    t.region_seq <- t.region_seq + 1;
+    let set = Hashtbl.create (Array.length members) in
+    Array.iter (fun b -> Hashtbl.replace set b ()) members;
+    let r =
+      { r_id = t.region_seq; r_members = members; r_set = set; r_tr = tr;
+        r_staged = None; r_aliases = 0 }
+    in
+    Array.iter (fun b -> Hashtbl.replace t.regions b r) members;
+    t.promote_pending <- true;
+    t.stats.tier2_promotions <- t.stats.tier2_promotions + 1;
+    t.stats.tier2_compile_seconds <-
+      t.stats.tier2_compile_seconds +. seconds;
+    let vliws =
+      Hashtbl.fold
+        (fun _ (p : Translate.xpage) acc -> acc + Vec.length p.vliws)
+        tr.pages 0
+    in
+    emit t (fun () ->
+        Region_promoted
+          { cycle = now t; id = r.r_id; pages = Array.length members; insns;
+            vliws; seconds; cached });
+    Ok r
+  end
+
+(** The region (if any) currently covering tier-1 page [base]. *)
+let region_of t base = Hashtbl.find_opt t.regions base
+
+(* One-shot consumption of [promote_pending]: true iff the boundary at
+   [pc] should abandon its direct-linked tier-1 chain and re-dispatch
+   (the page under [pc] now belongs to a region).  Consumed either way
+   — if the install raced execution into some non-member page, the
+   member pages will be re-entered through [goto_base] regardless. *)
+let take_redispatch t ~pc =
+  t.promote_pending
+  && begin
+       t.promote_pending <- false;
+       t.active_region = None
+       && Hashtbl.mem t.regions (pc land lnot (t.tr.params.page_size - 1))
+     end
+
+(** Every live region, deduplicated, in promotion order. *)
+let live_regions t =
+  let seen = Hashtbl.create 8 in
+  Hashtbl.fold
+    (fun _ r acc ->
+      if Hashtbl.mem seen r.r_id then acc
+      else begin
+        Hashtbl.replace seen r.r_id ();
+        r :: acc
+      end)
+    t.regions []
+  |> List.sort (fun a b -> compare a.r_id b.r_id)
+
+(** Persist [r]'s image so warm starts come up already promoted. *)
+let tcache_persist_region t (r : region) =
+  match t.tcache with
+  | None -> ()
+  | Some store ->
+    let key = tcache_region_key t store r in
+    let xp =
+      Hashtbl.fold (fun _ p _ -> Some p) r.r_tr.pages None |> Option.get
+    in
+    let spec_inhibited = Translate.load_spec_inhibited r.r_tr xp.base in
+    (match
+       Tcache.Store.persist_region store ~key
+         ~fingerprint:(Params.fingerprint r.r_tr.params)
+         ~members:r.r_members xp ~spec_inhibited
+     with
+    | bytes ->
+      t.stats.tcache_persists <- t.stats.tcache_persists + 1;
+      emit t (fun () ->
+          Tcache_persist { cycle = now t; page = r.r_members.(0); bytes });
+      (match t.tcache_touch with Some f -> f ~key | None -> ())
+    | exception Sys_error _ -> ())
+
 (** Run translated execution starting at base address [entry] until the
     program halts; returns the exit code. *)
 let run t ~entry ~fuel =
@@ -811,7 +1043,17 @@ let run t ~entry ~fuel =
       stats.stall_cycles <- stats.stall_cycles + t.itlb_miss_cost
     end;
     let base = Translate.page_base t.tr addr in
-    match page_mode t base with
+    match Hashtbl.find_opt t.regions base with
+    | Some r -> enter_region r addr
+    | None ->
+    (match t.active_region with
+    | Some _ ->
+      (* control left a promoted region for unpromoted code: a guarded
+         soft exit, not an assumption failure — the region stays in *)
+      stats.tier2_offregion_exits <- stats.tier2_offregion_exits + 1;
+      t.active_region <- None
+    | None -> ());
+    (match page_mode t base with
     | `Interp ->
       (* quarantined or pinned: the always-correct path *)
       recover_at addr
@@ -944,7 +1186,68 @@ let run t ~entry ~fuel =
           tcache_evict t page.base;
           record_failure t page.base;
           recover_at addr
-        | None -> dispatch page id))
+        | None -> dispatch page id)))
+  (* Enter a promoted region at base address [addr].  The region image
+     is lazily extended for entry points it has not seen (the same
+     in-place extension tier-1 uses); any translator trouble demotes
+     the region and re-dispatches the same address down the tier-1
+     path — no state was touched, so the retry is exact. *)
+  and enter_region (r : region) addr =
+    let base = Translate.page_base t.tr addr in
+    match Translate.entry r.r_tr addr with
+    | exception ((Mem.Halted _ | Out_of_fuel | Deliver _) as e) -> raise e
+    | exception exn ->
+      stats.translator_faults <- stats.translator_faults + 1;
+      let reason = Printexc.to_string exn in
+      emit t (fun () ->
+          Translator_fault { cycle = now t; page = base; entry = addr; reason });
+      deopt_region t r ~page:base ~reason:("tier-2 extension: " ^ reason);
+      goto_base addr
+    | xp, id -> (
+      t.current_page <- base;
+      t.active_region <- Some r;
+      stats.tier2_entries <- stats.tier2_entries + 1;
+      emit t (fun () ->
+          Page_enter { cycle = now t; page = base; vliws_so_far = stats.vliws });
+      match t.engine with
+      | Tree -> exec_at xp id
+      | Compiled -> (
+        match region_compiled r xp with
+        | cp -> exec_c xp cp (C.get cp id)
+        | exception ((Mem.Halted _ | Out_of_fuel | Deliver _) as e) -> raise e
+        | exception C.Budget_exceeded seconds ->
+          (* staging the region image blew its budget: demote and run
+             the same address under tier-1 *)
+          stats.deadline_hits <- stats.deadline_hits + 1;
+          emit t (fun () ->
+              Deadline { cycle = now t; page = base; stage = Dcompile; seconds });
+          deopt_region t r ~page:base ~reason:"tier-2 staging deadline";
+          goto_base addr
+        | exception _ ->
+          (* structurally corrupt region tree: the interpretive walker
+             owns error containment, exactly as for tier-1 pages *)
+          exec_at xp id))
+  and region_compiled (r : region) (xp : Translate.xpage) : C.page =
+    match r.r_staged with
+    | Some (src, cp) when src == xp && C.n_staged cp = Vec.length xp.vliws ->
+      cp
+    | _ ->
+      let t0 = Sys.time () in
+      let trees = Array.init (Vec.length xp.vliws) (Vec.get xp.vliws) in
+      let cp =
+        C.stage ?budget:t.compile_budget ~st:t.st ~mem:t.mem
+          ~scratch:t.cscratch trees
+      in
+      let seconds = Sys.time () -. t0 in
+      stats.compiled_pages <- stats.compiled_pages + 1;
+      stats.compile_seconds <- stats.compile_seconds +. seconds;
+      stats.tier2_compile_seconds <- stats.tier2_compile_seconds +. seconds;
+      r.r_staged <- Some (xp, cp);
+      emit t (fun () ->
+          Vliw_compiled
+            { cycle = now t; page = t.current_page;
+              vliws = Array.length trees; seconds });
+      cp
   and dispatch (page : Translate.xpage) id =
     match t.engine with
     | Tree -> exec_at page id
@@ -1029,6 +1332,10 @@ let run t ~entry ~fuel =
       | None, None -> false
       | _ -> boundary_tick t ~pc:vliw.precise_entry)
     then recover_at vliw.precise_entry
+    else if take_redispatch t ~pc:vliw.precise_entry then
+      (* a region was installed under us: leave the tier-1 chain at
+         this precise boundary and dispatch into the promoted image *)
+      goto_base vliw.precise_entry
     else if (match t.prefault_hook with Some f -> f () | None -> false)
     then begin
       (* injected page-fault storm: the VLIW appears not to have
@@ -1070,6 +1377,15 @@ let run t ~entry ~fuel =
     | Some f -> f ~addr:(Vec.get page.addrs id) ~size:(Vec.get page.sizes id)
     | None -> ());
     (match t.shadow_arm with Some f -> f ~pc:vliw.precise_entry | None -> ());
+    (match t.active_region with
+    | Some _ ->
+      (* track the tier-1 page each region VLIW was entered from, so
+         ladder strikes, exit edges and deadline events stay
+         page-granular even under a multi-page image *)
+      t.current_page <-
+        vliw.precise_entry land lnot (t.tr.params.page_size - 1);
+      stats.tier2_vliws <- stats.tier2_vliws + 1
+    | None -> ());
     stats.vliws <- stats.vliws + 1;
     match Exec.run t.st t.mem ~alias_check:(alias_check t) vliw with
     | exception Exec.Error reason -> exec_fault_at vliw.precise_entry reason
@@ -1142,6 +1458,17 @@ let run t ~entry ~fuel =
         Rolled_back { cycle = now t; pc = precise; kind });
     (match reason with
     | Ralias when t.pending_selfmod -> t.pending_selfmod <- false
+    | Ralias when t.active_region <> None ->
+      stats.aliases <- stats.aliases + 1;
+      (match t.active_region with
+      | Some r ->
+        (* under a region image, frequent aliasing deopts instead of
+           adaptively retranslating: tier-1's own tally takes over once
+           the member pages run unpromoted again *)
+        r.r_aliases <- r.r_aliases + 1;
+        if r.r_aliases >= 32 then
+          deopt_region t r ~page:t.current_page ~reason:"frequent aliasing"
+      | None -> ())
     | Ralias ->
       stats.aliases <- stats.aliases + 1;
       if t.tr.params.adaptive_alias then begin
@@ -1266,6 +1593,10 @@ let run t ~entry ~fuel =
       | None, None -> false
       | _ -> boundary_tick t ~pc:precise)
     then recover_at precise
+    else if take_redispatch t ~pc:precise then
+      (* a region was installed under us: leave the tier-1 chain at
+         this precise boundary and dispatch into the promoted image *)
+      goto_base precise
     else if (match t.prefault_hook with Some f -> f () | None -> false)
     then begin
       (* injected page-fault storm: the VLIW appears not to have
@@ -1304,6 +1635,11 @@ let run t ~entry ~fuel =
       f ~addr:(Vec.get page.addrs cv.c_id) ~size:(Vec.get page.sizes cv.c_id)
     | None -> ());
     (match t.shadow_arm with Some f -> f ~pc:precise | None -> ());
+    (match t.active_region with
+    | Some _ ->
+      t.current_page <- precise land lnot (t.tr.params.page_size - 1);
+      stats.tier2_vliws <- stats.tier2_vliws + 1
+    | None -> ());
     stats.vliws <- stats.vliws + 1;
     match C.exec_vliw cp cv ~alias_check:(alias_check_c t) with
     | exception Exec.Error reason -> exec_fault_at precise reason

@@ -160,7 +160,9 @@ let test_merge_commutes () =
   in
   Alcotest.(check (triple int int int)) "merge order is irrelevant" ab ba
 
-(* The acceptance property: two accumulated runs store the sum. *)
+(* The acceptance property: page counters accumulate across runs, edge
+   heat is the per-run mean (promotion thresholds are per-run figures,
+   so a hundred accumulated runs must not read a hundred times hotter). *)
 let test_accumulate_is_sum () =
   let dir = fresh_dir () in
   let store () = Pstore.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp:acc" in
@@ -170,8 +172,8 @@ let test_accumulate_is_sum () =
   Alcotest.(check int) "entries = 2x one run"
     (2 * Profile.total_entries one)
     (Profile.total_entries merged);
-  Alcotest.(check int) "edges = 2x one run"
-    (2 * Profile.total_edges one)
+  Alcotest.(check int) "edges = per-run mean, not the sum"
+    (Profile.total_edges one)
     (Profile.total_edges merged);
   Alcotest.(check int) "runs counted" 2 merged.Profile.runs;
   match Pstore.load (store ()) with
@@ -220,6 +222,56 @@ let test_regions_self_loop () =
     Alcotest.(check (list int)) "self-loop is a region" [ 0x1000 ]
       r.Profile.rpages
   | rs -> Alcotest.failf "expected one region, got %d" (List.length rs)
+
+(* A page that is merely *visited* (entered, translated) but has no hot
+   edge at all must never surface as a region: singleton SCCs only count
+   with a self-loop. *)
+let test_regions_single_node_no_edge () =
+  let p = Profile.create ~page_size:4096 () in
+  Profile.enter p ~page:0x1000 ~vliws_so_far:0;
+  Profile.translated p ~page:0x1000 ~insns:64 ~bytes:512;
+  Profile.flush p ~vliws_total:100_000;
+  Alcotest.(check int) "no region without an edge" 0
+    (List.length (Profile.regions ~threshold:1 p))
+
+(* Two disjoint cycles at exactly equal heat: both must be reported,
+   each with its own member set — equal heat must not collapse, mask or
+   drop either one.  Rank order between equals is unspecified; sort. *)
+let test_regions_disjoint_equal_heat () =
+  let p = Profile.create ~page_size:4096 () in
+  Profile.edge_n p ~src:0x1000 ~dst:0x2000 ~kind:Profile.Taken 40;
+  Profile.edge_n p ~src:0x2000 ~dst:0x1000 ~kind:Profile.Lr 40;
+  Profile.edge_n p ~src:0x7000 ~dst:0x8000 ~kind:Profile.Taken 40;
+  Profile.edge_n p ~src:0x8000 ~dst:0x7000 ~kind:Profile.Lr 40;
+  match Profile.regions ~threshold:10 p with
+  | [ a; b ] ->
+    let members =
+      List.sort compare [ a.Profile.rpages; b.Profile.rpages ]
+    in
+    Alcotest.(check (list (list int))) "both cycles present"
+      [ [ 0x1000; 0x2000 ]; [ 0x7000; 0x8000 ] ]
+      members;
+    Alcotest.(check int) "equal internal weight" a.Profile.internal_weight
+      b.Profile.internal_weight
+  | rs -> Alcotest.failf "expected two regions, got %d" (List.length rs)
+
+(* The threshold is inclusive: an edge at exactly [threshold] keeps the
+   cycle alive; one traversal fewer dissolves it. *)
+let test_regions_threshold_boundary () =
+  let build n =
+    let p = Profile.create ~page_size:4096 () in
+    Profile.edge_n p ~src:0x1000 ~dst:0x2000 ~kind:Profile.Taken n;
+    Profile.edge_n p ~src:0x2000 ~dst:0x1000 ~kind:Profile.Taken n;
+    p
+  in
+  (match Profile.regions ~threshold:10 (build 10) with
+  | [ r ] ->
+    Alcotest.(check (list int)) "heat == threshold is kept"
+      [ 0x1000; 0x2000 ] r.Profile.rpages
+  | rs -> Alcotest.failf "at threshold: expected one region, got %d"
+            (List.length rs));
+  Alcotest.(check int) "heat == threshold - 1 dissolves" 0
+    (List.length (Profile.regions ~threshold:10 (build 9)))
 
 (* --- flight ring ---------------------------------------------------- *)
 
@@ -343,7 +395,13 @@ let () =
             test_open_sweeps_orphan_tmp ] );
       ( "regions",
         [ Alcotest.test_case "finds cycle" `Quick test_regions_finds_cycle;
-          Alcotest.test_case "self loop" `Quick test_regions_self_loop ] );
+          Alcotest.test_case "self loop" `Quick test_regions_self_loop;
+          Alcotest.test_case "single node no edge" `Quick
+            test_regions_single_node_no_edge;
+          Alcotest.test_case "disjoint equal heat" `Quick
+            test_regions_disjoint_equal_heat;
+          Alcotest.test_case "threshold boundary" `Quick
+            test_regions_threshold_boundary ] );
       ( "flight",
         [ Alcotest.test_case "ring wraps" `Quick test_flight_ring_wraps;
           Alcotest.test_case "dump first-wins" `Quick

@@ -483,7 +483,14 @@ let test_chaos_invariants () =
   let r, outcomes =
     Serve.Chaos.run ~dir
       { Serve.Chaos.default with
-        sessions = 16; domains = 4; queue_cap = 2; seed = 11 }
+        sessions = 16; domains = 4; queue_cap = 2; seed = 11;
+        (* aggressive tier-2 promotion inside every session: the
+           cocktail's faults must also be absorbed while superblock
+           regions are live *)
+        tier2 =
+          Some
+            { Obs.Tier.default with
+              min_heat = 2_000; edge_threshold = 50 } }
   in
   (match Serve.Chaos.verdict r with
   | `Clean -> ()
