@@ -407,6 +407,91 @@ let serve_chaos_series () =
     finish ();
     raise e
 
+(* Storage-chaos series: the same serving fleet, but the disk is the
+   adversary — every session's cache runs on a seeded fault backend
+   (ENOSPC, EIO, short writes, torn renames) while the guest-level
+   injectors stay quiet, so whatever breaks is storage handling alone.
+   The fleet invariant under measurement: a disk fault costs at most
+   one retranslation and never a crash, a mismatch, or leaked shared
+   state.  Afterwards a clean warm fleet over the surviving store heals
+   the holes (its translation count is the price actually paid), and
+   `fsck --repair` must leave the tree clean. *)
+let storage_chaos_series () =
+  print_newline ();
+  print_endline "Storage chaos: fleet on a lying disk, then warm heal + fsck";
+  print_endline "-----------------------------------------------------------";
+  let module J = Obs.Json in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "daisy_bench_storage.%d" (Unix.getpid ()))
+  in
+  let cfg =
+    { Serve.Chaos.default with
+      sessions = 32; domains = 4; queue_cap = 8; seed = 11;
+      inject = Fault.Inject.quiet;
+      storage = Some Fsio.storage_cocktail }
+  in
+  let finish () =
+    ignore (Tcache.Store.clear_dir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  match
+    let r, _ = Serve.Chaos.run ~dir cfg in
+    let pool = Serve.Pool.create ~domains:cfg.domains () in
+    let shared = Serve.Shared.create ~dir () in
+    let heal =
+      Fun.protect
+        ~finally:(fun () -> Serve.Pool.shutdown pool)
+        (fun () ->
+          fst
+            (Serve.Fleet.run ~first_id:cfg.sessions ~pool ~shared
+               ~sessions:cfg.sessions cfg.workloads))
+    in
+    let repaired = Guard.Fsck.run ~repair:true ~tcache_dir:dir () in
+    let fsck_clean = Guard.Fsck.all_clean (Guard.Fsck.run ~tcache_dir:dir ()) in
+    (r, heal, repaired, fsck_clean)
+  with
+  | r, heal, repaired, fsck_clean ->
+    finish ();
+    Printf.printf
+      "%d sessions  ok %d  crash %d  mismatch %d  stuck gates %d  leaked \
+       pins %d\n"
+      r.sessions r.ok r.crash_failures r.mismatch_failures r.stuck_gates
+      r.leaked_pins;
+    Printf.printf
+      "disk faults %d  degraded ops %d  storage strikes %d  self-heals %d\n"
+      r.storage_injected r.tcache_degraded r.storage_faults r.self_heals;
+    let fsck_issues =
+      List.fold_left (fun n rep -> n + Guard.Fsck.issues rep) 0 repaired
+    in
+    Printf.printf
+      "warm heal: %d failed  %d pages retranslated (bound: %d faults)  \
+       fsck: %d issue(s) repaired, %s\n"
+      heal.Serve.Fleet.failures heal.pages_translated r.storage_injected
+      fsck_issues
+      (if fsck_clean then "clean" else "NOT CLEAN");
+    (match Serve.Chaos.verdict r with
+    | `Clean -> print_endline "contract: clean"
+    | `Violations v ->
+      print_endline ("contract VIOLATED: " ^ String.concat "; " v));
+    J.Obj
+      [ ("sessions", J.Int r.sessions); ("ok", J.Int r.ok);
+        ("crash_failures", J.Int r.crash_failures);
+        ("mismatch_failures", J.Int r.mismatch_failures);
+        ("stuck_gates", J.Int r.stuck_gates);
+        ("leaked_pins", J.Int r.leaked_pins);
+        ("storage_injected", J.Int r.storage_injected);
+        ("tcache_degraded", J.Int r.tcache_degraded);
+        ("storage_faults", J.Int r.storage_faults);
+        ("self_heals", J.Int r.self_heals);
+        ("heal_failures", J.Int heal.failures);
+        ("heal_pages_translated", J.Int heal.pages_translated);
+        ("fsck_issues_repaired", J.Int fsck_issues);
+        ("fsck_clean", J.Bool fsck_clean) ]
+  | exception e ->
+    finish ();
+    raise e
+
 (* Tier-promotion series: what the tier-2 superblock scheduler buys on
    the hot-region workloads.  Three measured points per workload:
 
@@ -460,6 +545,42 @@ let tier_promotion_series () =
         let trad = Vmm.Run.run ~params:(Baseline.Tradcomp.params w) w in
         ignore (Tcache.Store.clear_dir dir);
         (try Sys.rmdir dir with Sys_error _ -> ());
+        (* the same cold promotion again, but compiled on a background
+           domain whose minor heap is pre-sized like the daemon's
+           submit pool — async compile latency vs the inline number
+           above is what that GC tuning buys *)
+        let adir =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "daisy_bench_tier_async.%d.%s" (Unix.getpid ())
+               name)
+        in
+        let apool =
+          Serve.Pool.create ~domains:1 ~minor_heap_words:(1 lsl 22) ()
+        in
+        let async_cfg =
+          { Obs.Tier.default with
+            submit = Some (fun job -> Serve.Pool.submit apool job) }
+        in
+        let async_vmm =
+          let captured = ref None in
+          ignore
+            (Vmm.Run.run ~tcache_dir:adir
+               ~instrument:(fun vmm ->
+                 captured := Some vmm;
+                 ignore (Obs.Tier.attach ~cfg:async_cfg vmm))
+               w);
+          Serve.Pool.drain apool;
+          Serve.Pool.shutdown apool;
+          ignore (Tcache.Store.clear_dir adir);
+          (try Sys.rmdir adir with Sys_error _ -> ());
+          Option.get !captured
+        in
+        let sync_compile_ms =
+          cold_vmm.Vmm.Monitor.stats.tier2_compile_seconds *. 1e3
+        in
+        let async_compile_ms =
+          async_vmm.Vmm.Monitor.stats.tier2_compile_seconds *. 1e3
+        in
         let ns_per_insn r s =
           s *. 1e9 /. float_of_int (max 1 r.Vmm.Run.base_insns)
         in
@@ -470,11 +591,14 @@ let tier_promotion_series () =
         Printf.printf
           "           promotions %d (%.1f ms compile), deopts %d, region \
            VLIWs %d/%d, %.0f -> %.0f emulated KIPS\n"
-          cold_vmm.Vmm.Monitor.stats.tier2_promotions
-          (cold_vmm.stats.tier2_compile_seconds *. 1e3)
+          cold_vmm.Vmm.Monitor.stats.tier2_promotions sync_compile_ms
           cold_vmm.stats.tier2_deopts warm_vmm.stats.tier2_vliws warm.vliws
           (mips tier1 tier1_s *. 1e3)
           (mips warm warm_s *. 1e3);
+        Printf.printf
+          "           compile latency: %.1f ms sync -> %.1f ms async \
+           (pre-sized minor heap)\n"
+          sync_compile_ms async_compile_ms;
         J.Obj
           [ ("name", J.Str name);
             ("tier1_ilp_inf", J.Float tier1.ilp_inf);
@@ -483,8 +607,9 @@ let tier_promotion_series () =
             ("tradcomp_ilp_inf", J.Float trad.ilp_inf);
             ("promotions", J.Int cold_vmm.stats.tier2_promotions);
             ("deopts", J.Int cold_vmm.stats.tier2_deopts);
-            ("compile_ms",
-             J.Float (cold_vmm.stats.tier2_compile_seconds *. 1e3));
+            ("compile_ms", J.Float sync_compile_ms);
+            ("sync_compile_ms", J.Float sync_compile_ms);
+            ("async_compile_ms", J.Float async_compile_ms);
             ("cold_region_vliws", J.Int cold_vmm.stats.tier2_vliws);
             ("warm_region_vliws", J.Int warm_vmm.stats.tier2_vliws);
             ("tier1_ns_per_insn", J.Float (ns_per_insn tier1 tier1_s));
@@ -658,6 +783,13 @@ let write_bench_json path micro =
       Printf.printf "serve-chaos series skipped: %s\n" (Printexc.to_string e);
       J.Null
   in
+  let storage_chaos =
+    try storage_chaos_series ()
+    with e ->
+      Printf.printf "storage-chaos series skipped: %s\n"
+        (Printexc.to_string e);
+      J.Null
+  in
   let tier_promotion =
     try tier_promotion_series ()
     with e ->
@@ -667,7 +799,7 @@ let write_bench_json path micro =
   in
   let j =
     J.Obj
-      [ ("schema", J.Str "daisy-bench-v8");
+      [ ("schema", J.Str "daisy-bench-v9");
         ("workloads", J.Arr (List.map workload ws));
         ("mean_ilp_inf", J.Float mean_ilp);
         ("translator", translator);
@@ -680,6 +812,7 @@ let write_bench_json path micro =
         ("obs_overhead_frac_mean", J.Float mean_obs_overhead);
         ("serve_fleet", serve_fleet);
         ("serve_chaos", serve_chaos);
+        ("storage_chaos", storage_chaos);
         ("tier_promotion", tier_promotion) ]
   in
   let oc = open_out path in

@@ -347,7 +347,7 @@ let image_fingerprint (w : Workloads.Wl.t) ~page_size =
 
 let profile_store (w : Workloads.Wl.t) ~dir ~page_size =
   Obs.Pstore.open_store ~dir ~frontend:"ppc"
-    ~fingerprint:(image_fingerprint w ~page_size)
+    ~fingerprint:(image_fingerprint w ~page_size) ()
 
 let trace_format_conv = Arg.enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]
 
@@ -496,10 +496,12 @@ let run_cmd =
     in
     if guard.g_checkpoint_dir <> None then Guard.Supervise.install_sigterm ();
     (* one background domain for tier-2 region compiles, so promotion
-       never blocks the execution thread; --tier2-sync skips the pool *)
+       never blocks the execution thread; --tier2-sync skips the pool.
+       The pre-sized minor heap keeps the compile domain from paying
+       the minor-GC latency inline compiles never saw. *)
     let tier2_pool =
       if tier2.t2_enable && not tier2.t2_sync then
-        Some (Serve.Pool.create ~domains:1 ())
+        Some (Serve.Pool.create ~domains:1 ~minor_heap_words:(1 lsl 22) ())
       else None
     in
     let tier2_cfg =
@@ -677,7 +679,7 @@ let resume_cmd =
              ~doc:"Write the guest console output to $(docv).")
   in
   let run dir params console_out tier2 =
-    match Guard.Checkpoint.load ~dir with
+    match Guard.Checkpoint.load ~dir () with
     | None ->
       Printf.eprintf "daisy: no usable checkpoint in %s\n" dir;
       exit 1
@@ -1146,17 +1148,20 @@ let tcache_cmd =
           | `Skipped reason -> Printf.printf "skipped: %s (%s)\n" i.key reason
           | `Ok -> ())
         bad;
-      (match Tcache.Store.quarantined_files dir with
-      | [] -> ()
-      | q ->
-        Printf.printf
-          "quarantined:   %d (corrupt entries set aside as .dtc.bad)\n"
-          (List.length q));
-      match Tcache.Store.stray_files dir with
-      | [] -> ()
-      | strays ->
-        Printf.printf "stray files:   %d (not cache entries, left alone)\n"
-          (List.length strays)
+      (* the storage-health footer: torn entries, quarantine corpses
+         and dead writers' temp files are exactly what `daisy fsck`
+         walks — report the counts here instead of silently skipping,
+         so an operator reading stats sees a sick tree immediately *)
+      Printf.printf "degraded:      %d torn entries (run `daisy fsck` to repair)\n"
+        (List.length bad);
+      Printf.printf
+        "quarantined:   %d (corrupt entries set aside as .dtc.bad)\n"
+        (List.length (Tcache.Store.quarantined_files dir));
+      Printf.printf
+        "orphaned:      %d (temp files from dead writers, swept at open)\n"
+        (List.length (Tcache.Store.orphan_files dir));
+      Printf.printf "stray files:   %d (not cache entries, left alone)\n"
+        (List.length (Tcache.Store.stray_files dir))
     in
     Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ dir)
   in
@@ -1195,6 +1200,66 @@ let tcache_cmd =
     Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ dir)
   in
   Cmd.group (Cmd.info "tcache" ~doc) [ stats_cmd; ls_cmd; clear_cmd ]
+
+let fsck_cmd =
+  let doc =
+    "Walk the durable stores (tcache, profiles, checkpoints, crash \
+     dumps), report torn entries and orphaned temp files, and \
+     optionally repair them."
+  in
+  let dir_opt name docv doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv ~doc)
+  in
+  let tc = dir_opt "tcache" "DIR" "Translation cache directory to check." in
+  let pd = dir_opt "profile-dir" "DIR" "Profile store directory to check." in
+  let ck = dir_opt "checkpoint-dir" "DIR" "Checkpoint directory to check." in
+  let cd =
+    dir_opt "crash-dump-dir" "DIR" "Flight-recorder dump directory to check."
+  in
+  let repair =
+    Arg.(value & flag
+         & info [ "repair" ]
+             ~doc:
+               "Set torn entries aside as .bad (bytes kept for the \
+                post-mortem) and remove orphaned temp files.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"PATH"
+             ~doc:"Also write the report as JSON to $(docv).")
+  in
+  let run tc pd ck cd repair json_out =
+    match (tc, pd, ck, cd) with
+    | None, None, None, None ->
+      prerr_endline
+        "fsck: name at least one store (--tcache, --profile-dir, \
+         --checkpoint-dir, --crash-dump-dir)";
+      exit 2
+    | _ ->
+      let reports =
+        Guard.Fsck.run ~repair ?tcache_dir:tc ?profile_dir:pd
+          ?checkpoint_dir:ck ?crash_dir:cd ()
+      in
+      List.iter
+        (fun r -> Format.printf "@[<v>%a@]@." Guard.Fsck.pp r)
+        reports;
+      (match json_out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string (Guard.Fsck.to_json reports));
+        close_out oc
+      | None -> ());
+      if Guard.Fsck.all_clean reports then print_endline "fsck: clean"
+      else begin
+        Printf.printf "fsck: %d issues remain%s\n"
+          (List.fold_left (fun n r -> n + Guard.Fsck.issues r) 0
+             (List.filter (fun r -> not (Guard.Fsck.clean r)) reports))
+          (if repair then "" else " (re-run with --repair)");
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "fsck" ~doc)
+    Term.(const run $ tc $ pd $ ck $ cd $ repair $ json_out)
 
 let socket_arg =
   Arg.(value
@@ -1263,8 +1328,17 @@ let serve_cmd =
                    its own injector seed from $(docv) and its id, so a \
                    fleet is reproducible.")
   in
+  let chaos_storage =
+    Arg.(value & flag
+         & info [ "chaos-storage" ]
+             ~doc:"Run every session's translation cache on a seeded \
+                   disk-fault backend (ENOSPC, EIO, short writes, torn \
+                   renames).  Sessions must degrade to in-memory \
+                   overlays, never crash or mismatch; HEALTH reports \
+                   storage_injected / tcache_degraded / storage_faults.")
+  in
   let run dir socket_path domains budget checkpoint_root engine queue_cap
-      chaos_cocktail chaos_seed params tier2 =
+      chaos_cocktail chaos_seed chaos_storage params tier2 =
     if domains <= 0 then begin
       Printf.eprintf "daisy serve: --domains must be positive\n";
       exit 2
@@ -1287,17 +1361,25 @@ let serve_cmd =
                    seed = chaos_seed + (id * 0x9E3779B9) })
               vmm)
     in
-    Printf.printf "daisy serve: cache %s, %d domains, socket %s%s\n%!" dir
+    Printf.printf "daisy serve: cache %s, %d domains, socket %s%s%s\n%!" dir
       domains socket_path
       (if chaos_cocktail then
          Printf.sprintf " (chaos cocktail, seed %#x)" chaos_seed
+       else "")
+      (if chaos_storage then
+         Printf.sprintf " (storage faults, seed %#x)" chaos_seed
        else "");
     (* sessions already run on pool domains, so each session's tier-2
        compiles stay synchronous on its own domain *)
     let tier2 = tier2_config tier2 ~submit:None in
+    let storage =
+      if chaos_storage then
+        Some { Fsio.storage_cocktail with seed = chaos_seed }
+      else None
+    in
     match
       Serve.Server.serve ~params ~engine ?budget ?checkpoint_root ~domains
-        ?queue_cap ?session_instrument ?tier2
+        ?queue_cap ?session_instrument ?tier2 ?storage
         ~ignore_mem:
           (if chaos_cocktail then [ Workloads.Wl.interrupt_count_addr ]
            else [])
@@ -1311,8 +1393,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ dir $ socket_arg $ domains $ budget $ checkpoint_root
-          $ engine $ queue_cap $ chaos_cocktail $ chaos_seed $ params_term
-          $ tier2_term)
+          $ engine $ queue_cap $ chaos_cocktail $ chaos_seed $ chaos_storage
+          $ params_term $ tier2_term)
 
 let client_cmd =
   let doc =
@@ -1436,8 +1518,43 @@ let fuzz_cmd =
              ~doc:"Where the flight recorder writes one crash dump per \
                    mismatching page.")
   in
+  let fault_storage =
+    Arg.(value & flag
+         & info [ "fault-storage" ]
+             ~doc:"Also run every page against a persistent translation \
+                   cache on a seeded disk-fault backend (ENOSPC, EIO, \
+                   short writes, torn renames).  The verdicts must not \
+                   change: a lying disk may cost retranslation, never \
+                   correctness.")
+  in
   let run seed pages insns fuel out replay shadow_sample no_flight
-      crash_dump_dir faults =
+      crash_dump_dir fault_storage faults =
+    let storage_dir =
+      if not fault_storage then None
+      else begin
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "daisy-fuzz-tcache-%d" (Unix.getpid ()))
+        in
+        Tcache.Store.mkdir_p dir;
+        Some dir
+      end
+    in
+    let storage =
+      Option.map
+        (fun dir -> (dir, { Fsio.storage_cocktail with seed }))
+        storage_dir
+    in
+    let rec rm_rf path =
+      match Sys.is_directory path with
+      | true ->
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        (try Sys.rmdir path with Sys_error _ -> ())
+      | false -> ( try Sys.remove path with Sys_error _ -> ())
+      | exception Sys_error _ -> ()
+    in
+    let cleanup_storage () = Option.iter rm_rf storage_dir in
     let flight =
       if no_flight then None
       else Some (Obs.Flight.create ~dir:crash_dump_dir ())
@@ -1493,28 +1610,38 @@ let fuzz_cmd =
     in
     match replay with
     | Some path ->
-      (match Fault.Fuzz.replay ?faults ?attach_extra path with
-      | Match -> Printf.printf "%s: match\n" path; report_shadow ()
+      (match Fault.Fuzz.replay ?faults ?storage ?attach_extra path with
+      | Match ->
+        Printf.printf "%s: match\n" path;
+        report_shadow ();
+        cleanup_storage ()
       | Hang ->
         Printf.printf "%s: hang (both sides out of fuel)\n" path;
-        report_shadow ()
+        report_shadow ();
+        cleanup_storage ()
       | Mismatch m ->
         Printf.printf "%s: MISMATCH: %s\n" path m;
         dump_crash "replay";
+        cleanup_storage ();
         exit 3)
     | None ->
       let s =
-        Fault.Fuzz.fuzz ?faults ?attach_extra ?on_mismatch ~out_dir:out ~insns
-          ~fuel ~log:print_endline ~seed ~pages ()
+        Fault.Fuzz.fuzz ?faults ?storage ?attach_extra ?on_mismatch
+          ~out_dir:out ~insns ~fuel ~log:print_endline ~seed ~pages ()
       in
       Printf.printf "fuzz: %d pages, %d matched, %d hung, %d mismatched\n"
         s.pages s.matched s.hung s.mismatched;
+      if fault_storage then
+        Printf.printf "storage: %d disk fault(s) injected, verdicts held\n"
+          s.storage_injected;
       report_shadow ();
+      cleanup_storage ();
       if s.mismatched > 0 then exit 3
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ seed $ pages $ insns $ fuel $ out $ replay
-          $ shadow_sample $ no_flight $ crash_dump_dir $ fault_term)
+          $ shadow_sample $ no_flight $ crash_dump_dir $ fault_storage
+          $ fault_term)
 
 let () =
   let doc = "DAISY: dynamic binary translation onto a tree-VLIW machine" in
@@ -1523,5 +1650,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; resume_cmd; profile_cmd; trees_cmd;
-            experiments_cmd; ladder_cmd; tcache_cmd; serve_cmd; client_cmd;
-            fuzz_cmd ]))
+            experiments_cmd; ladder_cmd; tcache_cmd; fsck_cmd; serve_cmd;
+            client_cmd; fuzz_cmd ]))

@@ -243,10 +243,15 @@ let wl_of ~seed ~index ~fuel slots =
     per-page derived seed, so page verdicts are independent of each
     other).  Each engine run gets its own freshly-seeded injector:
     injectors are stateful RNGs, and sharing one would entangle the two
-    runs' fault schedules.  [attach_extra] attaches additional
-    instrumentation after the injector (the guard's shadow verifier,
-    observability sinks). *)
-let run_slots ?faults ?attach_extra ~seed ~index ~fuel slots =
+    runs' fault schedules.  [storage] additionally runs the page
+    against a persistent translation cache in the given directory,
+    through a seeded disk-fault backend — the verdict must still be
+    [Match]: a lying disk may cost retranslation, never correctness.
+    [storage_fired] accumulates how many disk faults actually fired.
+    [attach_extra] attaches additional instrumentation after the
+    injector (the guard's shadow verifier, observability sinks). *)
+let run_slots ?faults ?storage ?storage_fired ?attach_extra ~seed ~index ~fuel
+    slots =
   let w = wl_of ~seed ~index ~fuel slots in
   let run_engine (engine : Vmm.Monitor.engine) =
     let label =
@@ -262,6 +267,18 @@ let run_slots ?faults ?attach_extra ~seed ~index ~fuel slots =
         ( (if cfg.interrupt_rate > 0. then [ Wl.interrupt_count_addr ] else []),
           Some (Inject.attach inj) )
     in
+    (* like the fault injector: a fresh per-engine backend, seeded from
+       the page index, so the two engine runs' fault schedules stay
+       independent and any page replays exactly *)
+    let tcache_dir, tcache_io, storage_inj =
+      match storage with
+      | None -> (None, None, None)
+      | Some (dir, (fc : Fsio.fault_config)) ->
+        let io, inj =
+          Fsio.faulty { fc with seed = fc.seed lxor (index * 2654435761) }
+        in
+        (Some dir, Some io, Some inj)
+    in
     let instrument =
       match (inject, attach_extra) with
       | None, None -> None
@@ -271,11 +288,17 @@ let run_slots ?faults ?attach_extra ~seed ~index ~fuel slots =
             (match inject with Some f -> f vmm | None -> ());
             match attach_extra with Some f -> f vmm | None -> ())
     in
-    match Vmm.Run.run ~engine ?instrument ~ignore_mem w with
-    | r -> if r.exit_code = None then Hang else Match
-    | exception Vmm.Run.Mismatch m -> Mismatch (label ^ ": " ^ m)
-    | exception e ->
-      Mismatch (label ^ ": crash: " ^ Printexc.to_string e)
+    let v =
+      match Vmm.Run.run ~engine ?instrument ~ignore_mem ?tcache_dir ?tcache_io w with
+      | r -> if r.exit_code = None then Hang else Match
+      | exception Vmm.Run.Mismatch m -> Mismatch (label ^ ": " ^ m)
+      | exception e ->
+        Mismatch (label ^ ": crash: " ^ Printexc.to_string e)
+    in
+    (match (storage_fired, storage_inj) with
+    | Some acc, Some inj -> acc := !acc + Fsio.faults_fired inj
+    | _ -> ());
+    v
   in
   match run_engine Vmm.Monitor.Tree with
   | Mismatch _ as v -> v
@@ -353,9 +376,9 @@ let read_reproducer path =
   | Some (seed, index, fuel) -> (seed, index, fuel, Array.of_list (List.rev !slots))
 
 (** Re-run a reproducer file; returns its verdict. *)
-let replay ?faults ?attach_extra path =
+let replay ?faults ?storage ?attach_extra path =
   let seed, index, fuel, slots = read_reproducer path in
-  run_slots ?faults ?attach_extra ~seed ~index ~fuel slots
+  run_slots ?faults ?storage ?attach_extra ~seed ~index ~fuel slots
 
 (* ------------------------------------------------------------------ *)
 (* The corpus driver                                                   *)
@@ -365,17 +388,21 @@ type summary = {
   matched : int;
   hung : int;
   mismatched : int;
+  storage_injected : int;  (** disk faults fired by the [storage] backend *)
   outcomes : outcome list;  (** in page order *)
 }
 
 (** [fuzz ~seed ~pages ()] generates and differentially runs [pages]
-    pages.  [faults] adds injection; [out_dir], when given, enables
+    pages.  [faults] adds injection; [storage] = [(dir, cfg)] runs
+    every page against a persistent cache in [dir] through a seeded
+    disk-fault backend (`--fault-storage`), holding the compatibility
+    claim under lying storage too.  [out_dir], when given, enables
     shrinking and writes one reproducer file per mismatch.  [log] gets
     one line per notable event.  [on_mismatch] fires once per
     mismatching page, before shrinking, while whatever [attach_extra]
     instrumented (e.g. a flight recorder) still holds the failing run's
     tail — the driver uses it to write crash dumps. *)
-let fuzz ?faults ?attach_extra ?on_mismatch ?out_dir ?(insns = 96)
+let fuzz ?faults ?storage ?attach_extra ?on_mismatch ?out_dir ?(insns = 96)
     ?(fuel = 100_000) ?(log = fun (_ : string) -> ()) ~seed ~pages () =
   let allow_raw =
     match faults with
@@ -383,12 +410,16 @@ let fuzz ?faults ?attach_extra ?on_mismatch ?out_dir ?(insns = 96)
     | None -> true
   in
   let matched = ref 0 and hung = ref 0 and mismatched = ref 0 in
+  let storage_fired = ref 0 in
   let outcomes = ref [] in
   for index = 0 to pages - 1 do
     let rng = Random.State.make [| seed; index; 0 |] in
     let slots = gen_slots rng ~insns ~allow_raw in
     let reproducer = ref None in
-    let verdict = run_slots ?faults ?attach_extra ~seed ~index ~fuel slots in
+    let verdict =
+      run_slots ?faults ?storage ~storage_fired ?attach_extra ~seed ~index
+        ~fuel slots
+    in
     (match verdict with
     | Match -> incr matched
     | Hang ->
@@ -404,7 +435,9 @@ let fuzz ?faults ?attach_extra ?on_mismatch ?out_dir ?(insns = 96)
       | None -> ()
       | Some dir ->
         let still s =
-          match run_slots ?faults ?attach_extra ~seed ~index ~fuel s with
+          match
+            run_slots ?faults ?storage ?attach_extra ~seed ~index ~fuel s
+          with
           | Mismatch _ -> true
           | Match | Hang -> false
         in
@@ -424,4 +457,4 @@ let fuzz ?faults ?attach_extra ?on_mismatch ?out_dir ?(insns = 96)
     outcomes := { index; verdict; reproducer = !reproducer } :: !outcomes
   done;
   { pages; matched = !matched; hung = !hung; mismatched = !mismatched;
-    outcomes = List.rev !outcomes }
+    storage_injected = !storage_fired; outcomes = List.rev !outcomes }

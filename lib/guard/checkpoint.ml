@@ -29,12 +29,19 @@
    | mem seq vint | console str | timer_count vint | stats
    | health entries | dirty chunks.
 
-   Crash safety mirrors the tcache store: unique temp file in the same
-   directory + [Sys.rename], so a reader never sees a torn snapshot and
-   a kill -9 mid-write costs at most one checkpoint interval of
-   progress.  A truncated or bit-flipped file fails the
-   magic/version/checksum ladder; [load] stops at the first invalid
-   file and restores from the valid prefix. *)
+   Crash safety mirrors the tcache store: snapshots are installed with
+   {!Fsio.commit} (temp write, file fsync, rename, directory fsync), so
+   a reader never sees a torn snapshot and a kill -9 mid-write costs at
+   most one checkpoint interval of progress.  A truncated or
+   bit-flipped file fails the magic/version/checksum ladder; [load]
+   stops at the first invalid file and restores from the valid prefix.
+
+   Storage faults ({!Fsio.Fault}: ENOSPC, EIO, readonly mount) are a
+   *degradation*, not a crash: a failed snapshot surfaces as a typed
+   Storage strike — [stats.storage_faults] plus a [Storage_fault]
+   event into the ladder/flight/HEALTH plumbing — while the run keeps
+   executing with its dirty bitmap intact, so the next interval retries
+   a snapshot covering everything the failed one would have. *)
 
 module Codec = Tcache.Codec
 module Monitor = Vmm.Monitor
@@ -63,9 +70,9 @@ type t = {
           write, not a hash insert *)
   mutable seq : int;       (** next snapshot number *)
   mutable last_cycle : int;  (** VMM clock at the last snapshot *)
+  io : Fsio.t;
 }
 
-let file_of dir seq = Filename.concat dir (Printf.sprintf "ck-%06d.dgck" seq)
 
 let mark t addr n =
   if addr >= 0 && n > 0 then begin
@@ -83,12 +90,13 @@ let mark t addr n =
     by treating every chunk the run has already dirtied as dirty — for
     a fresh run that is none, and on resume the restored image already
     contains them. *)
-let attach ~dir ~every ?(seq = 0) ~workload (vmm : Monitor.t) =
+let attach ~dir ~every ?(seq = 0) ?(io = Fsio.real) ~workload
+    (vmm : Monitor.t) =
   Tcache.Store.mkdir_p dir;
   let t =
     { dir; every; workload; vmm;
       dirty = Bytes.make ((vmm.mem.size + chunk - 1) / chunk) '\000'; seq;
-      last_cycle = Monitor.now vmm }
+      last_cycle = Monitor.now vmm; io }
   in
   let mem = vmm.mem in
   (match mem.on_store with
@@ -210,27 +218,38 @@ let write t ~pc =
   Codec.put_vint out (String.length payload);
   Buffer.add_string out (Digest.string payload);
   Buffer.add_string out payload;
-  let tmp = Filename.temp_file ~temp_dir:t.dir ".dgck" ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () -> Buffer.output_buffer oc out);
-     Sys.rename tmp (file_of t.dir t.seq)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  let bytes = Buffer.length out and pages = List.length chunks in
-  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
-  t.seq <- t.seq + 1;
-  t.last_cycle <- Monitor.now vmm;
-  let seconds = Sys.time () -. t0 in
-  vmm.stats.checkpoints_written <- vmm.stats.checkpoints_written + 1;
-  vmm.stats.checkpoint_seconds <- vmm.stats.checkpoint_seconds +. seconds;
-  Monitor.emit vmm (fun () ->
-      Checkpoint_written
-        { cycle = Monitor.now vmm; seq = t.seq - 1; bytes; pages; seconds });
-  bytes
+  match
+    Fsio.commit t.io ~dir:t.dir
+      ~file:(Printf.sprintf "ck-%06d.dgck" t.seq)
+      (Buffer.contents out)
+  with
+  | () ->
+    let bytes = Buffer.length out and pages = List.length chunks in
+    Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+    t.seq <- t.seq + 1;
+    t.last_cycle <- Monitor.now vmm;
+    let seconds = Sys.time () -. t0 in
+    vmm.stats.checkpoints_written <- vmm.stats.checkpoints_written + 1;
+    vmm.stats.checkpoint_seconds <- vmm.stats.checkpoint_seconds +. seconds;
+    Monitor.emit vmm (fun () ->
+        Checkpoint_written
+          { cycle = Monitor.now vmm; seq = t.seq - 1; bytes; pages; seconds });
+    bytes
+  | exception (Fsio.Fault { op; _ } as f) ->
+    (* a typed Storage strike: the run keeps executing, the verdict
+       degrades (exit 4), and the dirty bitmap stays set so the next
+       interval's snapshot covers everything this one would have.
+       [last_cycle] still advances — retrying every cycle against a
+       full disk would turn one fault into a write storm. *)
+    t.last_cycle <- Monitor.now vmm;
+    let seconds = Sys.time () -. t0 in
+    vmm.stats.storage_faults <- vmm.stats.storage_faults + 1;
+    vmm.stats.checkpoint_seconds <- vmm.stats.checkpoint_seconds +. seconds;
+    Monitor.emit vmm (fun () ->
+        Storage_fault
+          { cycle = Monitor.now vmm; store = "checkpoint"; op;
+            reason = Fsio.fault_message f });
+    0
 
 (** Write a snapshot if at least [every] VMM cycles of commit progress
     have accumulated since the last one. *)
@@ -311,13 +330,9 @@ let parse_snapshot s =
     s_machine; s_mem_seq; s_console; s_timer_count; s_stats; s_health;
     s_chunks }
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      try really_input_string ic (in_channel_length ic)
-      with End_of_file -> Codec.corrupt "short read")
+(* Whole-file read via the backend; a truncated or torn file yields a
+   prefix the checksum ladder rejects. *)
+let read_file ?(io = Fsio.real) path = io.Fsio.read_file path
 
 let snapshot_files dir =
   match Sys.readdir dir with
@@ -340,20 +355,20 @@ type loaded = {
     valid prefix: a corrupt or unreadable file invalidates itself and
     everything after it (later deltas assume the earlier memory image).
     [None] when the directory holds no usable snapshot. *)
-let load ~dir =
+let load ?(io = Fsio.real) ~dir () =
   let files = snapshot_files dir in
   let last = ref None and deltas = ref [] in
   let valid = ref 0 and dropped = ref 0 in
   let rec go = function
     | [] -> ()
     | f :: rest -> (
-      match parse_snapshot (read_file (Filename.concat dir f)) with
+      match parse_snapshot (read_file ~io (Filename.concat dir f)) with
       | snap ->
         last := Some snap;
         deltas := !deltas @ snap.s_chunks;
         incr valid;
         go rest
-      | exception (Codec.Corrupt _ | Sys_error _) ->
+      | exception (Codec.Corrupt _ | Sys_error _ | Fsio.Fault _) ->
         dropped := List.length (f :: rest))
   in
   go files;

@@ -208,6 +208,8 @@ let record_result m (r : Vmm.Run.result) =
   c "tcache_persists" s.tcache_persists;
   c "tcache_evicts" s.tcache_evicts;
   c "tcache_skipped" s.tcache_skipped;
+  c "tcache_degraded" s.tcache_degraded;
+  c "storage_faults" s.storage_faults;
   c "translator_faults" s.translator_faults;
   c "exec_faults" s.exec_faults;
   c "quarantines" s.quarantines;

@@ -39,18 +39,30 @@ type t = {
           Bridge.attach, which is when a VMM exists) *)
   mutable dumps : (string * string) list;
       (** (reason, path) already written, newest first *)
+  io : Fsio.t;
+  mutable io_degraded : int;
+      (** storage faults absorbed while writing dumps *)
+  mutable pending : (string * string) list;
+      (** (file, contents) dumps a storage fault kept off the disk —
+          a bounded lossy buffer so the post-mortem survives in memory
+          and fsck/HEALTH can report the loss *)
 }
 
 let default_capacity = 8192
 
+(* dumps parked in memory by storage faults: enough for every distinct
+   trigger reason, small enough that a fault storm cannot grow the heap *)
+let max_pending = 16
+
 (* never surfaced: [len] bounds every read *)
 let dummy_event = Monitor.External_interrupt { cycle = -1 }
 
-let create ?(capacity = default_capacity) ?(dir = "daisy-crash") () =
+let create ?(capacity = default_capacity) ?(dir = "daisy-crash")
+    ?(io = Fsio.real) () =
   if capacity <= 0 then invalid_arg "Flight.create: capacity";
   { buf = Array.make capacity dummy_event; capacity; len = 0; head = 0;
     total = 0; dir; metrics = None; profile = None; health = None;
-    dumps = [] }
+    dumps = []; io; io_degraded = 0; pending = [] }
 
 let set_metrics t m = t.metrics <- Some m
 let set_profile t p = t.profile <- Some p
@@ -74,6 +86,14 @@ let events t =
       t.buf.((t.head - t.len + i + t.capacity) mod t.capacity))
 
 let dumps t = List.rev t.dumps
+
+(** Storage faults absorbed while dumping (each parked the rendered
+    dump in memory instead). *)
+let io_degraded t = t.io_degraded
+
+(** Dumps currently parked in memory by storage faults: [(file,
+    contents)], oldest first. *)
+let pending_dumps t = List.rev t.pending
 
 (* --- event rendering ------------------------------------------------
 
@@ -210,6 +230,12 @@ let render (ev : Monitor.event) :
     ( cycle, "region_deopt", Trace.I,
       [ ("id", Json.Int id); ("page", Json.Int page);
         ("reason", Json.Str reason) ] )
+  | Tcache_degraded { cycle; page } ->
+    (cycle, "tcache_degraded", Trace.I, [ ("page", Json.Int page) ])
+  | Storage_fault { cycle; store; op; reason } ->
+    ( cycle, "storage_fault", Trace.I,
+      [ ("store", Json.Str store); ("op", Json.Str op);
+        ("reason", Json.Str reason) ] )
 
 let ev_json ev =
   let ts, name, ph, args = render ev in
@@ -239,36 +265,44 @@ let dump_json t ~reason =
       ("health", opt (fun f -> f ()) t.health);
       ("profile", opt (fun p -> Profile.to_json p) t.profile) ]
 
-let write_atomic ~dir ~file contents =
-  let tmp = Filename.temp_file ~temp_dir:dir ".crash" ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () -> output_string oc contents);
-     Sys.rename tmp (Filename.concat dir file)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e)
+let write_atomic ?(io = Fsio.real) ~dir ~file contents =
+  Fsio.commit io ~dir ~file contents
+
+(* A dump a storage fault kept off the disk is parked in memory — the
+   post-mortem is exactly what we must not lose to the failure it
+   describes — bounded so a fault storm cannot grow the heap. *)
+let park t file contents =
+  t.io_degraded <- t.io_degraded + 1;
+  if List.length t.pending < max_pending
+     && not (List.mem_assoc file t.pending)
+  then t.pending <- (file, contents) :: t.pending
 
 (** Write a crash dump for [reason] unless one was already written this
     run.  Returns the path written, [None] when suppressed or when the
-    write failed (the recorder never raises). *)
+    write failed (the recorder never raises — an I/O error or storage
+    fault parks the dump in memory instead; see {!pending_dumps}). *)
 let dump t ~reason =
   if List.mem_assoc reason t.dumps then None
   else
+    let file = "crash-" ^ reason ^ ".json" in
+    let contents = Json.to_string (dump_json t ~reason) in
     match
       mkdir_p t.dir;
-      let file = "crash-" ^ reason ^ ".json" in
-      write_atomic ~dir:t.dir ~file (Json.to_string (dump_json t ~reason));
+      write_atomic ~io:t.io ~dir:t.dir ~file contents;
       (match t.profile with
-      | Some p ->
-        write_atomic ~dir:t.dir ~file:("crash-" ^ reason ^ ".folded")
-          (Profile.to_collapsed p)
+      | Some p -> (
+        let ffile = "crash-" ^ reason ^ ".folded" in
+        let folded = Profile.to_collapsed p in
+        (* the .json landed; losing only the .folded is a degradation,
+           not a failed dump *)
+        try write_atomic ~io:t.io ~dir:t.dir ~file:ffile folded
+        with Sys_error _ | Fsio.Fault _ -> park t ffile folded)
       | None -> ());
       Filename.concat t.dir file
     with
     | path ->
       t.dumps <- (reason, path) :: t.dumps;
       Some path
-    | exception Sys_error _ -> None
+    | exception (Sys_error _ | Fsio.Fault _) ->
+      park t file contents;
+      None

@@ -27,9 +27,14 @@
                       translations insns_scheduled code_bytes)*
      | nedges vint | (src dst kind_u8 count)*
 
-   Crash safety mirrors Tcache.Store: writes go to a unique temp file
-   renamed into place, and orphaned [*.tmp] files from a killed writer
-   are swept when the store is opened. *)
+   Crash safety mirrors Tcache.Store: writes go through {!Fsio.commit}
+   (temp write, file fsync, rename, directory fsync), and orphaned
+   [*.tmp] files from a killed writer are swept when the store is
+   opened.  Storage faults ({!Fsio.Fault}) degrade rather than raise:
+   a failed save parks the profile in memory — the run's heat data
+   stays mergeable for this process, only durability is lost — and a
+   faulted load serves that in-memory copy when one exists.  The
+   [degraded] counter records every absorbed fault. *)
 
 module Codec = Tcache.Codec
 
@@ -151,6 +156,12 @@ type t = {
   fingerprint : string;
   swept_tmp : int;
       (** orphaned temp files from a killed writer, removed at open *)
+  io : Fsio.t;
+  mutable mem_profile : Profile.t option;
+      (** the lossy in-memory fallback: the last profile a storage
+          fault kept off the disk *)
+  mutable degraded : int;
+      (** storage faults absorbed by degrading to memory *)
 }
 
 let rec mkdir_p dir =
@@ -159,26 +170,30 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
   end
 
-let sweep_tmp dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> 0
+let sweep_tmp ?(io = Fsio.real) dir =
+  match io.Fsio.readdir dir with
+  | exception Sys_error _ | (exception Fsio.Fault _) -> 0
   | files ->
     Array.fold_left
       (fun n f ->
         if Filename.check_suffix f ".tmp" then
-          match Sys.remove (Filename.concat dir f) with
+          match io.Fsio.remove (Filename.concat dir f) with
           | () -> n + 1
-          | exception Sys_error _ -> n
+          | exception Sys_error _ | (exception Fsio.Fault _) -> n
         else n)
       0 files
 
 (** Open (creating if needed) the profile store in [dir].  Sweeps
     orphaned temp files, like the translation cache.  Raises
     [Sys_error] if the directory cannot be created. *)
-let open_store ~dir ~frontend ~fingerprint =
+let open_store ?(io = Fsio.real) ~dir ~frontend ~fingerprint () =
   mkdir_p dir;
-  let swept_tmp = sweep_tmp dir in
-  { dir; frontend; fingerprint; swept_tmp }
+  let swept_tmp = sweep_tmp ~io dir in
+  { dir; frontend; fingerprint; swept_tmp; io; mem_profile = None;
+    degraded = 0 }
+
+(** Storage faults this store absorbed by degrading to memory. *)
+let degraded_count t = t.degraded
 
 let key t =
   Digest.to_hex
@@ -186,13 +201,9 @@ let key t =
 
 let path t = Filename.concat t.dir (key t ^ suffix)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      try really_input_string ic (in_channel_length ic)
-      with End_of_file -> Codec.corrupt "short read")
+(* Whole-file read via the store's backend; a file torn mid-read yields
+   a prefix the decode ladder rejects as corrupt. *)
+let read_file ?(io = Fsio.real) path = io.Fsio.read_file path
 
 type probe_result =
   [ `Hit of Profile.t
@@ -202,12 +213,17 @@ type probe_result =
 
 let load t : probe_result =
   let path = path t in
-  if not (Sys.file_exists path) then `Miss
+  let from_memory msg =
+    match t.mem_profile with
+    | Some p -> `Hit p
+    | None -> (match msg with None -> `Miss | Some m -> `Skipped m)
+  in
+  if not (Sys.file_exists path) then from_memory None
   else if try Sys.is_directory path with Sys_error _ -> false then
     `Skipped "is a directory"
   else
     match
-      let frontend, fingerprint, p = decode (read_file path) in
+      let frontend, fingerprint, p = decode (read_file ~io:t.io path) in
       if frontend <> t.frontend || fingerprint <> t.fingerprint then
         Codec.corrupt "fingerprint mismatch";
       p
@@ -215,20 +231,23 @@ let load t : probe_result =
     | p -> `Hit p
     | exception Codec.Corrupt msg -> `Corrupt msg
     | exception Sys_error msg -> `Skipped ("io: " ^ msg)
+    | exception (Fsio.Fault _ as f) ->
+      (* storage fault, not a bad entry: degrade to the in-memory copy
+         when one exists, report skipped otherwise *)
+      t.degraded <- t.degraded + 1;
+      from_memory (Some ("storage: " ^ Fsio.fault_message f))
 
-(** Write [p] as this store's entry, atomically; returns file bytes. *)
+(** Write [p] as this store's entry, atomically ({!Fsio.commit}).  A
+    storage fault keeps [p] in memory instead of raising — the heat
+    data survives for this process, durability is lost.  Returns the
+    encoded size in bytes. *)
 let save t (p : Profile.t) =
   let bytes = encode ~frontend:t.frontend ~fingerprint:t.fingerprint p in
-  let tmp = Filename.temp_file ~temp_dir:t.dir ".profile" ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () -> output_string oc bytes);
-     Sys.rename tmp (path t)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
+  (match Fsio.commit t.io ~dir:t.dir ~file:(key t ^ suffix) bytes with
+  | () -> t.mem_profile <- None
+  | exception Fsio.Fault _ ->
+    t.degraded <- t.degraded + 1;
+    t.mem_profile <- Some p);
   String.length bytes
 
 (** Fold a fresh run's profile into the on-disk entry (merge with
@@ -307,7 +326,10 @@ let merge_dirs ~into srcs =
           match decode (read_file (Filename.concat src f)) with
           | exception (Sys_error _ | Codec.Corrupt _) -> incr skipped
           | frontend, fingerprint, p ->
-            let t = { dir = into; frontend; fingerprint; swept_tmp = 0 } in
+            let t =
+              { dir = into; frontend; fingerprint; swept_tmp = 0;
+                io = Fsio.real; mem_profile = None; degraded = 0 }
+            in
             (match load t with
             | `Hit prev ->
               (* merge is commutative: direction only picks which

@@ -38,12 +38,17 @@ type config = {
   tier2 : Obs.Tier.config option;
       (** attach tier-2 promotion inside every session, so injected
           faults also land while regions are live *)
+  storage : Fsio.fault_config option;
+      (** when set, every session's translation cache runs on a seeded
+          fault backend (per-session seeds derive from [seed], like the
+          injectors) — ENOSPC, EIO, short writes, torn renames *)
 }
 
 let default =
   { seed = 7; sessions = 32; domains = 4; queue_cap = 8;
     workloads = [ "wc"; "cmp" ]; deadline_ms = None;
-    inject = Fault.Inject.cocktail; budget = None; tier2 = None }
+    inject = Fault.Inject.cocktail; budget = None; tier2 = None;
+    storage = None }
 
 type report = {
   sessions : int;
@@ -56,6 +61,9 @@ type report = {
   p99_ms : float;
   wall_seconds : float;
   injected : int;        (** faults that actually fired, all classes *)
+  storage_injected : int;  (** storage faults the fault backend fired *)
+  tcache_degraded : int;   (** cache ops absorbed by the memory overlay *)
+  storage_faults : int;    (** faults that reached the degraded verdict *)
   self_heals : int;      (** corrupt cache entries quarantined *)
   ladder_strikes : int;  (** page quarantines (degradation ladder) *)
   sheds : int;           (** submissions refused by the full queue *)
@@ -79,6 +87,18 @@ let run ?params ?engine ?checkpoint_root ~dir (cfg : config) =
         Fault.Inject.create
           { cfg.inject with seed = cfg.seed + (id * 0x9E3779B9) })
   in
+  (* per-session seeded storage backends, same derivation as the fault
+     injectors so any one session's disk-fault stream replays exactly *)
+  let storage =
+    Option.map
+      (fun (fc : Fsio.fault_config) ->
+        Array.init cfg.sessions (fun id ->
+            Fsio.faulty { fc with seed = cfg.seed + (id * 0x9E3779B9) }))
+      cfg.storage
+  in
+  let session_io id =
+    Option.map (fun arr -> fst arr.(id)) storage
+  in
   let sheds = ref 0 and retries = ref 0 in
   let t0 = Unix.gettimeofday () in
   (* generous but bounded: a shed submission retries under backoff
@@ -101,6 +121,7 @@ let run ?params ?engine ?checkpoint_root ~dir (cfg : config) =
           (Session.run ?params ?engine ?checkpoint_root ?deadline_at
              ~instrument:(Fault.Inject.attach injectors.(i))
              ?tier2:cfg.tier2
+             ?tcache_io:(session_io i)
              ~ignore_mem:
                (* delivered interrupts are counted by the mini OS at a
                   known word the reference interpreter never sees *)
@@ -167,6 +188,13 @@ let run ?params ?engine ?checkpoint_root ~dir (cfg : config) =
     wall_seconds;
     injected =
       Array.fold_left (fun n inj -> n + Fault.Inject.total inj) 0 injectors;
+    storage_injected =
+      (match storage with
+      | None -> 0
+      | Some arr ->
+        Array.fold_left (fun n (_, inj) -> n + Fsio.faults_fired inj) 0 arr);
+    tcache_degraded = stat (fun r -> r.stats.tcache_degraded);
+    storage_faults = stat (fun r -> r.stats.storage_faults);
     self_heals = stat (fun r -> r.stats.tcache_quarantined);
     ladder_strikes = stat (fun r -> r.stats.quarantines);
       sheds = !sheds;
@@ -203,7 +231,11 @@ let report_json r =
       ("crash_failures", Int r.crash_failures);
       ("p50_ms", Float r.p50_ms); ("p99_ms", Float r.p99_ms);
       ("wall_seconds", Float r.wall_seconds);
-      ("injected", Int r.injected); ("self_heals", Int r.self_heals);
+      ("injected", Int r.injected);
+      ("storage_injected", Int r.storage_injected);
+      ("tcache_degraded", Int r.tcache_degraded);
+      ("storage_faults", Int r.storage_faults);
+      ("self_heals", Int r.self_heals);
       ("ladder_strikes", Int r.ladder_strikes);
       ("sheds", Int r.sheds); ("retries", Int r.retries);
       ("stuck_gates", Int r.stuck_gates);

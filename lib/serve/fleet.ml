@@ -23,6 +23,8 @@ type report = {
   hit_rate : float;     (** hits / (hits + misses); 1.0 when no probes *)
   pages_translated : int;  (** fresh translation work across the fleet *)
   tcache_quarantined : int;  (** corrupt entries self-healed, summed *)
+  tcache_degraded : int;  (** cache ops parked in memory on storage faults *)
+  storage_faults : int;   (** checkpoint/store writes that hit a disk fault *)
   gate_wins : int;      (** unique translations granted by the gate *)
   gate_waits : int;     (** duplicate requests coalesced into waiting *)
   gate_failures : int;
@@ -47,11 +49,13 @@ let quantile_ms sorted q =
 
     [deadline_at] passes through to every session; [instrument] is
     keyed by session id so per-session attachments (fault injectors
-    seeded per id, say) land on the right VMM.  A session the pool
-    sheds at shutdown surfaces as a [Cancelled] outcome, not a
-    silently dropped slot. *)
+    seeded per id, say) land on the right VMM.  [session_io], also
+    keyed by id, gives each session its own storage backend — the
+    storage-chaos harness hands out per-session seeded fault backends
+    here.  A session the pool sheds at shutdown surfaces as a
+    [Cancelled] outcome, not a silently dropped slot. *)
 let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?tier2
-    ?ignore_mem ?(first_id = 0) ~pool ~shared ~sessions workloads =
+    ?session_io ?ignore_mem ?(first_id = 0) ~pool ~shared ~sessions workloads =
   if sessions <= 0 then invalid_arg "Fleet.run: sessions must be positive";
   if workloads = [] then invalid_arg "Fleet.run: no workloads";
   let wl = Array.of_list workloads in
@@ -69,7 +73,9 @@ let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?tier2
           Some
             (Session.run ?params ?engine ?checkpoint_root ?deadline_at
                ?instrument:(Option.map (fun f -> f ~id) instrument)
-               ?tier2 ?ignore_mem ~shared ~id workload))
+               ?tier2
+               ?tcache_io:(Option.map (fun f -> f ~id) session_io)
+               ?ignore_mem ~shared ~id workload))
   done;
   Pool.drain pool;
   let wall_seconds = Unix.gettimeofday () -. t0 in
@@ -120,6 +126,8 @@ let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?tier2
          else float_of_int hits /. float_of_int (hits + misses));
       pages_translated = stat (fun r -> r.pages_translated);
       tcache_quarantined = stat (fun r -> r.stats.tcache_quarantined);
+      tcache_degraded = stat (fun r -> r.stats.tcache_degraded);
+      storage_faults = stat (fun r -> r.stats.storage_faults);
       gate_wins = after.gate_wins - before.gate_wins;
       gate_waits = after.gate_waits - before.gate_waits;
       gate_failures = after.gate_failures - before.gate_failures;
@@ -145,6 +153,8 @@ let report_json r =
       ("hit_rate", Float r.hit_rate);
       ("pages_translated", Int r.pages_translated);
       ("tcache_quarantined", Int r.tcache_quarantined);
+      ("tcache_degraded", Int r.tcache_degraded);
+      ("storage_faults", Int r.storage_faults);
       ("gate_wins", Int r.gate_wins); ("gate_waits", Int r.gate_waits);
       ("gate_failures", Int r.gate_failures);
       ("evictions", Int r.evictions);

@@ -53,6 +53,11 @@ type t = {
       (** attach the tier-2 promotion driver to every session *)
   ignore_mem : int list;
       (** verifier word addresses expected to diverge (chaos mode) *)
+  storage : Fsio.fault_config option;
+      (** when set, every session's cache runs on a seeded fault
+          backend; seeds derive from the session id so a run replays *)
+  storage_injectors : Fsio.injector list ref;  (* guarded by [storage_lock] *)
+  storage_lock : Mutex.t;
   (* vitals, all atomics so HEALTH needs no lock *)
   sheds : int Atomic.t;            (* requests refused with `busy` *)
   completed : int Atomic.t;        (* sessions that ran to an outcome *)
@@ -62,6 +67,8 @@ type t = {
   f_crash : int Atomic.t;
   ladder_strikes : int Atomic.t;   (* page quarantines across sessions *)
   self_heals : int Atomic.t;       (* corrupt cache entries quarantined *)
+  tcache_degraded : int Atomic.t;  (* cache ops parked in memory overlays *)
+  storage_faults : int Atomic.t;   (* checkpoint/store disk-fault strikes *)
   avg_ms : float Atomic.t;         (* EWMA session latency, for hints *)
 }
 
@@ -77,7 +84,9 @@ let note_outcome t (o : Session.outcome) =
   (match o.result with
   | Ok r ->
     ignore (Atomic.fetch_and_add t.ladder_strikes r.stats.quarantines);
-    ignore (Atomic.fetch_and_add t.self_heals r.stats.tcache_quarantined)
+    ignore (Atomic.fetch_and_add t.self_heals r.stats.tcache_quarantined);
+    ignore (Atomic.fetch_and_add t.tcache_degraded r.stats.tcache_degraded);
+    ignore (Atomic.fetch_and_add t.storage_faults r.stats.storage_faults)
   | Error (Session.Mismatch _) -> Atomic.incr t.f_mismatch
   | Error (Session.Deadline _) -> Atomic.incr t.f_deadline
   | Error (Session.Cancelled _) -> Atomic.incr t.f_cancelled
@@ -115,6 +124,27 @@ let deadline_at = function
   | None -> None
   | Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
 
+(* A fresh seeded storage backend for session [id]; the injector is
+   kept so HEALTH can report how many disk faults actually fired. *)
+let fresh_session_io t ~id =
+  Option.map
+    (fun (fc : Fsio.fault_config) ->
+      let io, inj = Fsio.faulty { fc with seed = fc.seed + (id * 0x9E3779B9) } in
+      Mutex.lock t.storage_lock;
+      t.storage_injectors := inj :: !(t.storage_injectors);
+      Mutex.unlock t.storage_lock;
+      io)
+    t.storage
+
+let storage_injected t =
+  Mutex.lock t.storage_lock;
+  let n =
+    List.fold_left (fun n inj -> n + Fsio.faults_fired inj) 0
+      !(t.storage_injectors)
+  in
+  Mutex.unlock t.storage_lock;
+  n
+
 let stats_json t =
   let dir = Shared.dir t.shared in
   let entries = List.length (Tcache.Store.entry_files dir) in
@@ -145,6 +175,9 @@ let health_json t =
       ("crash_failures", Obs.Json.Int (Atomic.get t.f_crash));
       ("ladder_strikes", Obs.Json.Int (Atomic.get t.ladder_strikes));
       ("self_heals", Obs.Json.Int (Atomic.get t.self_heals));
+      ("storage_injected", Obs.Json.Int (storage_injected t));
+      ("tcache_degraded", Obs.Json.Int (Atomic.get t.tcache_degraded));
+      ("storage_faults", Obs.Json.Int (Atomic.get t.storage_faults));
       ("avg_session_ms", Obs.Json.Float (Atomic.get t.avg_ms)) ]
 
 (* One RUN request: admit through the bounded queue, block this
@@ -173,7 +206,8 @@ let run_one t ~workload ~deadline_ms =
         ?checkpoint_root:t.checkpoint_root ?deadline_at
         ?instrument:
           (Option.map (fun f -> f ~id) t.session_instrument)
-        ?tier2:t.tier2 ~ignore_mem:t.ignore_mem ~shared:t.shared ~id workload
+        ?tier2:t.tier2 ?tcache_io:(fresh_session_io t ~id)
+        ~ignore_mem:t.ignore_mem ~shared:t.shared ~id workload
     in
     note_outcome t o;
     fill (`Outcome o)
@@ -212,6 +246,10 @@ let run_fleet t ~sessions ~workloads ~deadline_ms =
         ?checkpoint_root:t.checkpoint_root
         ?deadline_at:(deadline_at deadline_ms)
         ?instrument:t.session_instrument ?tier2:t.tier2
+        ?session_io:
+          (Option.map
+             (fun _ ~id -> Option.get (fresh_session_io t ~id))
+             t.storage)
         ~ignore_mem:t.ignore_mem ~first_id
         ~pool:t.pool ~shared:t.shared ~sessions workloads
     with
@@ -289,10 +327,13 @@ let handle t fd =
     [queue_cap] bounds the pool backlog (load shedding past it);
     [session_instrument] is an extra per-session VMM hook, keyed by
     session id — the chaos flags use it to attach fault injectors.
-    [tier2] turns on tier-2 region promotion inside every session. *)
+    [tier2] turns on tier-2 region promotion inside every session.
+    [storage] puts every session's translation cache on a seeded
+    disk-fault backend (`--chaos-storage`); HEALTH then reports how
+    many faults fired and how many cache ops degraded to memory. *)
 let serve ?(params = Translator.Params.default) ?engine ?budget
     ?checkpoint_root ?(domains = 4) ?queue_cap ?session_instrument ?tier2
-    ?(ignore_mem = []) ~socket_path ~dir () =
+    ?storage ?(ignore_mem = []) ~socket_path ~dir () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* a stale socket file from a dead daemon blocks bind; take the name *)
   (match Unix.lstat socket_path with
@@ -306,11 +347,13 @@ let serve ?(params = Translator.Params.default) ?engine ?budget
     { socket_path; listener; pool = Pool.create ?queue_cap ~domains ();
       shared = Shared.create ?budget ~dir (); next_id = Atomic.make 0;
       stop = Atomic.make false; params; engine; checkpoint_root;
-      session_instrument; tier2; ignore_mem;
+      session_instrument; tier2; ignore_mem; storage;
+      storage_injectors = ref []; storage_lock = Mutex.create ();
       sheds = Atomic.make 0; completed = Atomic.make 0;
       f_mismatch = Atomic.make 0; f_deadline = Atomic.make 0;
       f_cancelled = Atomic.make 0; f_crash = Atomic.make 0;
       ladder_strikes = Atomic.make 0; self_heals = Atomic.make 0;
+      tcache_degraded = Atomic.make 0; storage_faults = Atomic.make 0;
       avg_ms = Atomic.make 0. }
   in
   let rec accept_loop () =

@@ -92,7 +92,7 @@ let rec rm_rf path =
     addresses whose divergence is expected (the interrupt count under
     injection, say). *)
 let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?tier2
-    ?(ignore_mem = []) ~shared ~id name =
+    ?tcache_io ?(ignore_mem = []) ~shared ~id name =
   let metrics = Obs.Metrics.create ~label:(Printf.sprintf "session-%d" id) () in
   let touched : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let touched_lock = Mutex.create () in
@@ -149,7 +149,7 @@ let run ?params ?engine ?checkpoint_root ?deadline_at ?instrument ?tier2
       match
         let w = Workloads.Registry.by_name name in
         Vmm.Run.run ?params ?engine ~instrument:instrument_session
-          ~ignore_mem ~tcache_dir:(Shared.dir shared) w
+          ~ignore_mem ~tcache_dir:(Shared.dir shared) ?tcache_io w
       with
       | r -> Ok r
       | exception Vmm.Run.Mismatch msg -> Error (Mismatch msg)
@@ -192,6 +192,8 @@ let outcome_json o =
           ("tcache_hits", Int r.stats.tcache_hits);
           ("tcache_misses", Int r.stats.tcache_misses);
           ("tcache_quarantined", Int r.stats.tcache_quarantined);
+          ("tcache_degraded", Int r.stats.tcache_degraded);
+          ("storage_faults", Int r.stats.storage_faults);
           ("tier2_promotions", Int r.stats.tier2_promotions);
           ("tier2_deopts", Int r.stats.tier2_deopts);
           ("degraded", Bool (Vmm.Run.degraded r.stats)) ])

@@ -29,12 +29,21 @@
    fingerprint stored in a region entry is the *region scheduler's*
    params fingerprint, not the store's tier-1 one.
 
-   Crash safety: entries are written to a unique temp file in the same
-   directory and [Sys.rename]d into place, so a reader never observes a
-   half-written entry and a killed writer leaves only a stray temp file
-   (swept by [clear_dir]).  A truncated, bit-flipped or future-version
-   entry fails the magic/version/checksum/decode ladder and reports as
-   [`Corrupt]; the VMM then falls back to a normal translate.
+   Storage: all file IO goes through an {!Fsio.t} backend ([Fsio.real]
+   unless the caller injects faults).  Entries are installed with
+   {!Fsio.commit} — temp write, file fsync, rename, directory fsync —
+   so a reader never observes a half-written entry and a killed writer
+   leaves only a stray temp file (swept at open).  A truncated,
+   bit-flipped or future-version entry fails the
+   magic/version/checksum/decode ladder and reports as [`Corrupt]; the
+   VMM then falls back to a normal translate.
+
+   Degradation: the cache is best-effort, so a *storage fault*
+   ([Fsio.Fault]: ENOSPC, EIO, readonly mount) never escapes to the
+   guest.  A failed install parks the entry in an in-memory overlay —
+   the session keeps its warm start, only durability is lost — and a
+   failed probe read falls back to the same overlay.  Every such event
+   bumps [degraded_count] so the monitor can surface it.
 
    Sharing: several VMMs — domains in one `daisy serve` process, or
    separate processes — may point at one directory.  Probes stay
@@ -56,6 +65,18 @@
 let magic = "DTCE"
 let lock_file = ".dtclock"
 
+(* An entry that could not reach (or be read back from) the disk,
+   parked in memory: the warm start survives the fault, only
+   durability is lost.  Region entries carry their own scheduler
+   fingerprint and member set, exactly like the on-disk layout. *)
+type overlay_entry = {
+  o_kind : [ `Page | `Region ];
+  o_page : Translator.Translate.xpage;
+  o_si : bool;
+  o_fingerprint : string;
+  o_members : int array;
+}
+
 type t = {
   dir : string;
   frontend : string;
@@ -64,6 +85,13 @@ type t = {
       (** orphaned temp files from a killed writer, removed at open *)
   lock_fd : Unix.file_descr;
       (** open for the store's lifetime; see [with_dir_lock] *)
+  io : Fsio.t;
+  overlay : (string, overlay_entry) Hashtbl.t;
+      (** keyed like the directory; entries that survived a storage
+          fault in memory only *)
+  olock : Mutex.t;  (** guards [overlay] and [degraded] across domains *)
+  mutable degraded : int;
+      (** storage faults absorbed by falling back to the overlay *)
 }
 
 (* One mutex per directory per process, created on first open and never
@@ -113,9 +141,10 @@ type probe_result =
   | `Miss
   | `Corrupt of string   (** entry content failed validation *)
   | `Skipped of string ]
-  (** not an entry at all (a directory squatting on the name) or an
-      entry we cannot read (permissions, I/O error) — never a reason to
-      raise; the VMM counts it and translates normally *)
+  (** not an entry at all (a directory squatting on the name), an
+      entry we cannot read (permissions, I/O error) or a storage fault
+      with no overlay copy — never a reason to raise; the VMM counts
+      it and translates normally *)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -123,7 +152,7 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
   end
 
-let open_store ~dir ~frontend ~fingerprint =
+let open_store ?(io = Fsio.real) ~dir ~frontend ~fingerprint () =
   mkdir_p dir;
   let lock_fd =
     Unix.openfile
@@ -140,19 +169,35 @@ let open_store ~dir ~frontend ~fingerprint =
      dead writer, never another store's in-flight install. *)
   let swept_tmp =
     with_dir_lock ~dir ~lock_fd (fun () ->
-        match Sys.readdir dir with
-        | exception Sys_error _ -> 0
+        match io.Fsio.readdir dir with
+        | exception Sys_error _ | (exception Fsio.Fault _) -> 0
         | files ->
           Array.fold_left
             (fun n f ->
               if Filename.check_suffix f ".tmp" then
-                match Sys.remove (Filename.concat dir f) with
+                match io.Fsio.remove (Filename.concat dir f) with
                 | () -> n + 1
-                | exception Sys_error _ -> n
+                | exception Sys_error _ | (exception Fsio.Fault _) -> n
               else n)
             0 files)
   in
-  { dir; frontend; fingerprint; swept_tmp; lock_fd }
+  { dir; frontend; fingerprint; swept_tmp; lock_fd; io;
+    overlay = Hashtbl.create 8; olock = Mutex.create (); degraded = 0 }
+
+let with_olock t f =
+  Mutex.lock t.olock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.olock) f
+
+(** Storage faults absorbed so far by degrading to the in-memory
+    overlay (failed installs and unreadable probes with a live copy or
+    not — every fault the store ate instead of raising). *)
+let degraded_count t = with_olock t (fun () -> t.degraded)
+
+(** Entries currently parked in the in-memory overlay (installed or
+    re-served across a storage fault; durability lost). *)
+let overlay_count t = with_olock t (fun () -> Hashtbl.length t.overlay)
+
+let note_degraded t = with_olock t (fun () -> t.degraded <- t.degraded + 1)
 
 (** The content-addressed key for a page: [bytes] are the page's exact
     base-architecture bytes, [base] its physical base address. *)
@@ -195,16 +240,9 @@ type header = {
   h_payload : string;  (** checksum-verified encoded page *)
 }
 
-(* Raises [Sys_error] on unreadable paths and [Codec.Corrupt] when the
-   file shrinks between the size query and the read (a torn truncate:
-   [really_input_string] would otherwise leak [End_of_file]). *)
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      try really_input_string ic (in_channel_length ic)
-      with End_of_file -> Codec.corrupt "short read")
+(* Whole-file read via the store's backend.  A file torn or truncated
+   mid-read yields a prefix; the parse ladder rejects it as corrupt. *)
+let read_file io path = io.Fsio.read_file path
 
 (* Parse and checksum-verify one entry file; raises {!Codec.Corrupt}. *)
 let parse_entry s =
@@ -246,14 +284,36 @@ let parse_entry s =
   { h_version; h_kind; h_frontend; h_fingerprint; h_members; h_base; h_psize;
     h_spec_inhibited; h_vliws; h_entries; h_payload }
 
+(* The overlay half of a probe: serve the in-memory copy parked by a
+   degraded install, if one matches. *)
+let overlay_page t k =
+  with_olock t (fun () ->
+      match Hashtbl.find_opt t.overlay k with
+      | Some { o_kind = `Page; o_page; o_si; _ } -> Some (o_page, o_si)
+      | _ -> None)
+
+let overlay_region t k ~fingerprint =
+  with_olock t (fun () ->
+      match Hashtbl.find_opt t.overlay k with
+      | Some { o_kind = `Region; o_page; o_si; o_fingerprint; o_members }
+        when o_fingerprint = fingerprint ->
+        Some (o_page, o_si, o_members)
+      | _ -> None)
+
 let probe t ~key:k : probe_result =
   let path = path_of t k in
-  if not (Sys.file_exists path) then `Miss
+  let from_overlay ~fault msg =
+    if fault then note_degraded t;
+    match overlay_page t k with
+    | Some (page, si) -> `Hit (page, si)
+    | None -> (match msg with None -> `Miss | Some m -> `Skipped m)
+  in
+  if not (Sys.file_exists path) then from_overlay ~fault:false None
   else if try Sys.is_directory path with Sys_error _ -> false then
     `Skipped "is a directory"
   else
     match
-      let h = parse_entry (read_file path) in
+      let h = parse_entry (read_file t.io path) in
       if h.h_kind <> `Page then Codec.corrupt "region entry under page key";
       if h.h_frontend <> t.frontend || h.h_fingerprint <> t.fingerprint then
         Codec.corrupt "fingerprint mismatch";
@@ -265,10 +325,15 @@ let probe t ~key:k : probe_result =
       (* the persistent LRU clock: a hit marks the entry recently used,
          so [enforce_budget] casts out cold entries first.  Best
          effort — a read-only cache dir still serves hits. *)
-      (try Unix.utimes path 0. 0. with Unix.Unix_error _ | Sys_error _ -> ());
+      (try t.io.Fsio.utimes path
+       with Unix.Unix_error _ | Sys_error _ | Fsio.Fault _ -> ());
       `Hit (page, si)
     | exception Codec.Corrupt msg -> `Corrupt msg
     | exception Sys_error msg -> `Skipped ("io: " ^ msg)
+    | exception (Fsio.Fault _ as f) ->
+      (* a storage fault, not a bad entry: degrade, serve the overlay
+         copy if one exists, and let the VMM translate otherwise *)
+      from_overlay ~fault:true (Some ("storage: " ^ Fsio.fault_message f))
 
 type region_probe_result =
   [ `Hit of Translator.Translate.xpage * bool * int array
@@ -283,12 +348,18 @@ type region_probe_result =
     entry, not a stale config). *)
 let probe_region t ~key:k ~fingerprint : region_probe_result =
   let path = path_of t k in
-  if not (Sys.file_exists path) then `Miss
+  let from_overlay ~fault msg =
+    if fault then note_degraded t;
+    match overlay_region t k ~fingerprint with
+    | Some (page, si, members) -> `Hit (page, si, members)
+    | None -> (match msg with None -> `Miss | Some m -> `Skipped m)
+  in
+  if not (Sys.file_exists path) then from_overlay ~fault:false None
   else if try Sys.is_directory path with Sys_error _ -> false then
     `Skipped "is a directory"
   else
     match
-      let h = parse_entry (read_file path) in
+      let h = parse_entry (read_file t.io path) in
       if h.h_kind <> `Region then Codec.corrupt "page entry under region key";
       if h.h_frontend <> t.frontend || h.h_fingerprint <> fingerprint then
         Codec.corrupt "fingerprint mismatch";
@@ -297,10 +368,13 @@ let probe_region t ~key:k ~fingerprint : region_probe_result =
       (page, h.h_spec_inhibited, h.h_members)
     with
     | page, si, members ->
-      (try Unix.utimes path 0. 0. with Unix.Unix_error _ | Sys_error _ -> ());
+      (try t.io.Fsio.utimes path
+       with Unix.Unix_error _ | Sys_error _ | Fsio.Fault _ -> ());
       `Hit (page, si, members)
     | exception Codec.Corrupt msg -> `Corrupt msg
     | exception Sys_error msg -> `Skipped ("io: " ^ msg)
+    | exception (Fsio.Fault _ as f) ->
+      from_overlay ~fault:true (Some ("storage: " ^ Fsio.fault_message f))
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)
@@ -327,21 +401,28 @@ let persist_gen t ~key:k ~kind ~fingerprint ~members
   Codec.put_vint b (String.length payload);
   Buffer.add_string b (Digest.string payload);
   Buffer.add_string b payload;
-  with_dir_lock ~dir:t.dir ~lock_fd:t.lock_fd (fun () ->
-      let tmp = Filename.temp_file ~temp_dir:t.dir ".tcache" ".tmp" in
-      let oc = open_out_bin tmp in
-      (try
-         Fun.protect
-           ~finally:(fun () -> close_out_noerr oc)
-           (fun () -> Buffer.output_buffer oc b);
-         Sys.rename tmp (path_of t k)
-       with e ->
-         (try Sys.remove tmp with Sys_error _ -> ());
-         raise e));
+  (match
+     with_dir_lock ~dir:t.dir ~lock_fd:t.lock_fd (fun () ->
+         Fsio.commit t.io ~dir:t.dir ~file:(k ^ ".dtc") (Buffer.contents b))
+   with
+  | () ->
+    (* a durable install supersedes any overlay copy of the entry *)
+    with_olock t (fun () -> Hashtbl.remove t.overlay k)
+  | exception Fsio.Fault _ ->
+    (* the disk refused the entry: park it in memory so this process
+       keeps its warm start, and count the degradation.  The caller's
+       contract is unchanged — the cache never fails an install. *)
+    with_olock t (fun () ->
+        t.degraded <- t.degraded + 1;
+        Hashtbl.replace t.overlay k
+          { o_kind = kind; o_page = page; o_si = spec_inhibited;
+            o_fingerprint = fingerprint; o_members = members }));
   Buffer.length b
 
-(** Persist [page] under [key], atomically (temp file + rename).
-    Returns the entry's size in bytes. *)
+(** Persist [page] under [key], atomically ({!Fsio.commit}: temp write,
+    file fsync, rename, directory fsync).  A storage fault degrades to
+    the in-memory overlay instead of raising.  Returns the entry's
+    size in bytes. *)
 let persist t ~key:k (page : Translator.Translate.xpage) ~spec_inhibited =
   persist_gen t ~key:k ~kind:`Page ~fingerprint:t.fingerprint ~members:[||]
     page ~spec_inhibited
@@ -357,10 +438,14 @@ let persist_region t ~key:k ~fingerprint ~members
 (** Drop the entry under [key], if present; tells whether one was. *)
 let evict t ~key:k =
   let path = path_of t k in
+  with_olock t (fun () -> Hashtbl.remove t.overlay k);
   with_dir_lock ~dir:t.dir ~lock_fd:t.lock_fd (fun () ->
-      match Sys.remove path with
+      match t.io.Fsio.remove path with
       | () -> true
-      | exception Sys_error _ -> false)
+      | exception Sys_error _ -> false
+      | exception Fsio.Fault _ ->
+        note_degraded t;
+        false)
 
 (** Quarantine the entry under [key]: set the file aside as
     [<key>.dtc.bad] instead of deleting it, so a corrupt or truncated
@@ -373,13 +458,13 @@ let evict t ~key:k =
 let quarantine t ~key:k =
   let path = path_of t k in
   with_dir_lock ~dir:t.dir ~lock_fd:t.lock_fd (fun () ->
-      match Sys.rename path (path ^ ".bad") with
+      match t.io.Fsio.rename path (path ^ ".bad") with
       | () -> true
-      | exception Sys_error _ -> (
-        (* cross-device or odd fs: fall back to plain eviction *)
-        match Sys.remove path with
+      | exception (Sys_error _ | Fsio.Fault _) -> (
+        (* cross-device, readonly or odd fs: fall back to eviction *)
+        match t.io.Fsio.remove path with
         | () -> true
-        | exception Sys_error _ -> false))
+        | exception (Sys_error _ | Fsio.Fault _) -> false))
 
 (** Quarantined corpses ([*.dtc.bad]) currently in [dir]. *)
 let quarantined_files dir =
@@ -387,6 +472,16 @@ let quarantined_files dir =
   | files ->
     Array.to_list files
     |> List.filter (fun f -> Filename.check_suffix f ".dtc.bad")
+    |> List.sort compare
+  | exception Sys_error _ -> []
+
+(** Orphaned temp files ([*.tmp]) currently in [dir] — a dead or
+    crashed writer's leavings, swept at open and by fsck. *)
+let orphan_files dir =
+  match Sys.readdir dir with
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
     |> List.sort compare
   | exception Sys_error _ -> []
 
@@ -453,19 +548,20 @@ let enforce_budget ?(pinned = fun _ -> false) t ~budget =
         List.iter
           (fun (_, path, sz, _) ->
             if !resident > budget then
-              match Sys.remove path with
+              match t.io.Fsio.remove path with
               | () ->
                 resident := !resident - sz;
                 incr evicted;
                 freed := !freed + sz
-              | exception Sys_error _ -> ())
+              | exception Sys_error _ -> ()
+              | exception Fsio.Fault _ -> note_degraded t)
           victims;
         { resident_bytes = !resident; evicted = !evicted;
           evicted_bytes = !freed; pinned_over = !resident > budget }
       end)
 
 (* ------------------------------------------------------------------ *)
-(* Directory tools (daisy tcache stats / ls / clear)                   *)
+(* Directory tools (daisy tcache stats / ls / clear / fsck)            *)
 
 type info = {
   key : string;
@@ -528,9 +624,11 @@ let list_dir dir =
       match
         if try Sys.is_directory path with Sys_error _ -> false then
           raise (Sys_error "is a directory")
-        else read_file path
+        else read_file Fsio.real path
       with
       | exception Sys_error msg -> blank (`Skipped msg)
+      | exception (Fsio.Fault _ as f) ->
+        blank (`Skipped ("storage: " ^ Fsio.fault_message f))
       | s -> (
         match parse_entry s with
         | h ->

@@ -58,6 +58,14 @@ type stats = {
   mutable tcache_persists : int;  (** fresh translations written out *)
   mutable tcache_evicts : int;    (** entries dropped after invalidation *)
   mutable tcache_skipped : int;   (** unreadable / non-entry paths ignored *)
+  mutable tcache_degraded : int;
+      (** storage faults the cache absorbed by degrading to its
+          in-memory overlay — the session kept serving, durability was
+          lost (mirrors the store's own [degraded_count]) *)
+  (* --- storage (lib/fsio) --- *)
+  mutable storage_faults : int;
+      (** typed Storage strikes: a durable store (checkpoints) hit a
+          storage fault and the run continued degraded *)
   (* --- degradation ladder (failure containment) --- *)
   mutable translator_faults : int;  (** exceptions escaping translation *)
   mutable exec_faults : int;     (** malformed VLIWs caught at run time *)
@@ -97,6 +105,7 @@ let fresh_stats () =
     tcache_hits = 0; tcache_misses = 0; tcache_corrupt = 0;
     tcache_quarantined = 0;
     tcache_persists = 0; tcache_evicts = 0; tcache_skipped = 0;
+    tcache_degraded = 0; storage_faults = 0;
     translator_faults = 0; exec_faults = 0; quarantines = 0;
     degrade_retries = 0; interp_pinned = 0;
     compiled_pages = 0; compile_seconds = 0.; direct_link_hits = 0;
@@ -222,6 +231,17 @@ type event =
   | Region_deopt of { cycle : int; id : int; page : int; reason : string }
       (** a region was demoted back to tier-1: member pages unmapped,
           staged image dropped, persistent entry evicted *)
+  | Tcache_degraded of { cycle : int; page : int }
+      (** a storage fault made the cache fall back to its in-memory
+          overlay for this page — the session keeps serving, the entry
+          lost durability *)
+  | Storage_fault of {
+      cycle : int;
+      store : string;  (** "tcache", "checkpoint", "profile", "flight" *)
+      op : string;     (** the IO operation that faulted *)
+      reason : string;
+    }  (** a typed Storage strike from a durable store; the run
+          continues but the verdict degrades *)
 
 and deadline_stage =
   | Dtranslate  (** per-page translation wall-clock budget *)
@@ -430,6 +450,17 @@ let tcache_key t store base =
   let len = min t.tr.params.page_size (Mem.size t.mem - base) in
   Tcache.Store.key store ~base (Mem.read_string t.mem base len)
 
+(* The store degrades to its in-memory overlay silently (it must never
+   raise into a guest run); the monitor mirrors the store's degraded
+   count into the stats after every cache operation so each absorbed
+   storage fault surfaces exactly once as a [Tcache_degraded] event. *)
+let tcache_sync_degraded t store base =
+  let d = Tcache.Store.degraded_count store in
+  while t.stats.tcache_degraded < d do
+    t.stats.tcache_degraded <- t.stats.tcache_degraded + 1;
+    emit t (fun () -> Tcache_degraded { cycle = now t; page = base })
+  done
+
 (* Probe the store for [addr]'s page and install the decoded
    translation; any anomaly counts as corrupt and falls through to a
    normal translate.  A corrupt entry is also *quarantined* — set aside
@@ -470,7 +501,8 @@ let tcache_probe t addr =
     | `Corrupt reason -> corrupt reason
     | `Skipped reason ->
       t.stats.tcache_skipped <- t.stats.tcache_skipped + 1;
-      emit t (fun () -> Tcache_skipped { cycle = now t; page = base; reason }))
+      emit t (fun () -> Tcache_skipped { cycle = now t; page = base; reason }));
+    tcache_sync_degraded t store base
 
 (* Write [page]'s translation out (also after an extension of an
    already-persisted page: same key, superset entry, plain overwrite). *)
@@ -489,7 +521,8 @@ let tcache_persist t (page : Translate.xpage) =
       (match t.tcache_persist_hook with
       | Some f -> f (Tcache.Store.path_of store key)
       | None -> ())
-    | exception Sys_error _ -> () (* unwritable dir: cache is best-effort *))
+    | exception Sys_error _ -> () (* unwritable dir: cache is best-effort *));
+    tcache_sync_degraded t store page.base
 
 (* Drop the entry for a page whose translation just became invalid
    (self-modifying code, adaptive retranslation).  Cast-outs do NOT
@@ -503,7 +536,8 @@ let tcache_evict t base =
     if Tcache.Store.evict store ~key then begin
       t.stats.tcache_evicts <- t.stats.tcache_evicts + 1;
       emit t (fun () -> Tcache_evict { cycle = now t; page = base })
-    end
+    end;
+    tcache_sync_degraded t store base
 
 (* Drop the staged form of a page whose translation just became invalid
    (self-modifying code, adaptive retranslation, quarantine, cast-out).
@@ -542,7 +576,8 @@ let tcache_evict_region t (r : region) =
     if Tcache.Store.evict store ~key then begin
       t.stats.tcache_evicts <- t.stats.tcache_evicts + 1;
       emit t (fun () -> Tcache_evict { cycle = now t; page = r.r_members.(0) })
-    end
+    end;
+    tcache_sync_degraded t store r.r_members.(0)
 
 (** Demote [r] back to tier-1: unmap every member (only where the
     mapping still points at [r]), drop the staged image, and evict the
@@ -604,15 +639,15 @@ let spec_conflicts t saddr sbytes sseq =
   go 0
 
 let create ?(params = Params.default) ?(frontend = Translator.Frontend.ppc)
-    ?(engine = Compiled) ?tcache_dir mem =
+    ?(engine = Compiled) ?tcache_dir ?tcache_io mem =
   let m = Machine.create () in
   let st = Vliw.Vstate.create m in
   let tr = Translate.create ~frontend params mem in
   let tcache =
     Option.map
       (fun dir ->
-        Tcache.Store.open_store ~dir ~frontend:frontend.name
-          ~fingerprint:(Params.fingerprint params))
+        Tcache.Store.open_store ?io:tcache_io ~dir ~frontend:frontend.name
+          ~fingerprint:(Params.fingerprint params) ())
       tcache_dir
   in
   let t =
@@ -1025,7 +1060,8 @@ let tcache_persist_region t (r : region) =
       emit t (fun () ->
           Tcache_persist { cycle = now t; page = r.r_members.(0); bytes });
       (match t.tcache_touch with Some f -> f ~key | None -> ())
-    | exception Sys_error _ -> ())
+    | exception Sys_error _ -> ());
+    tcache_sync_degraded t store r.r_members.(0)
 
 (** Run translated execution starting at base address [entry] until the
     program halts; returns the exit code. *)

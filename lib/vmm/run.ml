@@ -73,6 +73,11 @@ let mem_equal ~ignore_mem (a : Bytes.t) (b : Bytes.t) =
 let degraded (s : Monitor.stats) =
   s.translator_faults > 0 || s.exec_faults > 0 || s.quarantines > 0
   || s.interp_pinned > 0 || s.deadline_hits > 0 || s.shadow_divergences > 0
+  (* a dropped checkpoint is a durability promise broken: correct
+     answers, degraded run.  [tcache_degraded] deliberately does NOT
+     count — the cache is best-effort, so overlay fallback is routine
+     operation, surfaced through stats/HEALTH instead of the verdict. *)
+  || s.storage_faults > 0
 
 (** [run ?params ?engine ?hierarchy ?instrument ?prepare ?tcache_dir
     ?ignore_mem w] executes [w] under DAISY and returns the full set of
@@ -86,16 +91,18 @@ let degraded (s : Monitor.stats) =
     instead of the workload's entry — the reference run is unaffected,
     so the differential verification at the end still checks the
     *complete* execution's architected effects.  [tcache_dir] enables
-    the persistent translation cache there.  [ignore_mem] lists word
+    the persistent translation cache there; [tcache_io] overrides its
+    storage backend (the chaos harnesses inject faults through it).
+    [ignore_mem] lists word
     addresses excluded from the differential memory comparison
     (interrupt counters under injected interrupts).  Raises {!Mismatch}
     if the translated execution diverges from the reference interpreter
     in any observable way. *)
 let run ?(params = Params.default) ?engine ?hierarchy ?instrument ?prepare
-    ?tcache_dir ?(ignore_mem = []) (w : Workloads.Wl.t) =
+    ?tcache_dir ?tcache_io ?(ignore_mem = []) (w : Workloads.Wl.t) =
   let rcode, rst, rmem, it = reference w in
   let mem, entry = Workloads.Wl.instantiate w in
-  let vmm = Monitor.create ~params ?engine ?tcache_dir mem in
+  let vmm = Monitor.create ~params ?engine ?tcache_dir ?tcache_io mem in
   let load_misses = ref 0 and store_misses = ref 0 and imiss = ref 0 in
   let stall = ref 0 in
   (match hierarchy with

@@ -54,7 +54,7 @@ let test_resume_bit_identical () =
   Alcotest.(check (option int)) "cut short mid-run" None code;
   Alcotest.(check bool) "snapshots written" true
     (vmm.stats.checkpoints_written > 0);
-  let l = Option.get (Checkpoint.load ~dir) in
+  let l = Option.get (Checkpoint.load ~dir ()) in
   Alcotest.(check int) "nothing dropped" 0 l.dropped;
   Alcotest.(check string) "workload recorded" "wc" l.last.s_workload;
   let r =
@@ -85,7 +85,7 @@ let test_degraded_state_survives () =
   let ck = Checkpoint.attach ~dir ~every:1 ~workload:w.name vmm in
   Ppc.Mem.store32 vmm.mem (Wl.scratch_base + 0x40) 0xBEEF;
   ignore (Checkpoint.write ck ~pc:0x1058);
-  let l = Option.get (Checkpoint.load ~dir) in
+  let l = Option.get (Checkpoint.load ~dir ()) in
   let mem2, _ = Wl.instantiate w in
   let vmm2 = Monitor.create mem2 in
   let pc, consumed = Checkpoint.restore_into l vmm2 in
@@ -133,7 +133,7 @@ let test_longest_valid_prefix () =
   in
   (* corrupt the middle snapshot: only ck-000000 survives *)
   flip_byte (Filename.concat dir "ck-000001.dgck");
-  let l = Option.get (Checkpoint.load ~dir) in
+  let l = Option.get (Checkpoint.load ~dir ()) in
   Alcotest.(check int) "valid prefix" 1 l.valid;
   Alcotest.(check int) "rest dropped" 2 l.dropped;
   let mem2, _ = Wl.instantiate w in
@@ -149,11 +149,11 @@ let test_longest_valid_prefix () =
   ignore (Checkpoint.write ck ~pc:0x1000);
   (* directory now: valid 000000, (rewritten valid 000003), corrupt 000002 —
      reload sees 000000 valid, then 000002 invalid, drops the rest *)
-  let l = Option.get (Checkpoint.load ~dir) in
+  let l = Option.get (Checkpoint.load ~dir ()) in
   Alcotest.(check int) "stops at first bad file" 1 l.valid;
   rm_rf dir;
   Alcotest.(check bool) "missing dir loads as empty" true
-    (Checkpoint.load ~dir = None)
+    (Checkpoint.load ~dir () = None)
 
 (* SIGTERM discipline, without the signal: the flag is polled at commit
    boundaries only, a final snapshot is written, and {!Terminated}
@@ -174,7 +174,7 @@ let test_graceful_termination_and_resume () =
   Supervise.terminate := false;
   Alcotest.(check int) "final snapshot written" 1
     vmm.stats.checkpoints_written;
-  let l = Option.get (Checkpoint.load ~dir) in
+  let l = Option.get (Checkpoint.load ~dir ()) in
   let r =
     Run.run w
       ~prepare:(fun vmm ->
@@ -194,7 +194,7 @@ let test_incompatible_params_refused () =
   let vmm = Monitor.create mem in
   let ck = Checkpoint.attach ~dir ~every:1 ~workload:w.name vmm in
   ignore (Checkpoint.write ck ~pc:0x1000);
-  let l = Option.get (Checkpoint.load ~dir) in
+  let l = Option.get (Checkpoint.load ~dir ()) in
   let mem2, _ = Wl.instantiate w in
   let vmm2 =
     Monitor.create
@@ -327,7 +327,7 @@ let test_shadow_divergence_survives_checkpoint () =
   ignore (Monitor.run vmm ~entry ~fuel:50_000);
   Alcotest.(check bool) "divergences before the cut" true
     (vmm.stats.shadow_divergences > 0);
-  let l = Option.get (Checkpoint.load ~dir) in
+  let l = Option.get (Checkpoint.load ~dir ()) in
   let mem2, _ = Wl.instantiate w in
   let vmm2 = Monitor.create mem2 in
   ignore (Checkpoint.restore_into l vmm2);

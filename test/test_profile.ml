@@ -165,7 +165,7 @@ let test_merge_commutes () =
    so a hundred accumulated runs must not read a hundred times hotter). *)
 let test_accumulate_is_sum () =
   let dir = fresh_dir () in
-  let store () = Pstore.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp:acc" in
+  let store () = Pstore.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp:acc" () in
   let one = sample_profile () in
   let _, _ = Pstore.accumulate (store ()) (sample_profile ()) in
   let merged, _ = Pstore.accumulate (store ()) (sample_profile ()) in
@@ -190,7 +190,7 @@ let test_open_sweeps_orphan_tmp () =
   let keep = Filename.concat dir "README" in
   let oc = open_out_bin keep in
   close_out oc;
-  let s = Pstore.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  let s = Pstore.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" () in
   Alcotest.(check int) "swept one" 1 s.Pstore.swept_tmp;
   Alcotest.(check bool) "orphan gone" false (Sys.file_exists orphan);
   Alcotest.(check bool) "foreign file untouched" true (Sys.file_exists keep)

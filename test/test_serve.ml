@@ -231,7 +231,7 @@ let test_store_hammer () =
   (* distinct synthetic page contents -> distinct content keys; every
      domain cycles over the same overlapping key set *)
   let probe_store =
-    Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"hammer-fp"
+    Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"hammer-fp" ()
   in
   let keys =
     Array.init n_keys (fun i ->
@@ -246,7 +246,7 @@ let test_store_hammer () =
             (* each domain opens its OWN handle on the shared dir —
                cross-handle safety is the point *)
             let store =
-              Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"hammer-fp"
+              Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"hammer-fp" ()
             in
             for i = 0 to iters - 1 do
               let k = (i + d) mod n_keys in
@@ -303,7 +303,7 @@ let test_store_hammer () =
 
 let test_budget_eviction_and_pinning () =
   let dir = fresh_dir () in
-  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"evict-fp" in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"evict-fp" () in
   let page = translated_page () in
   let key i = Store.key store ~base:page.Translate.base (string_of_int i) in
   let bytes = ref 0 in
@@ -334,7 +334,7 @@ let test_budget_eviction_and_pinning () =
 
 let test_probe_refreshes_lru () =
   let dir = fresh_dir () in
-  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"lru-fp" in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"lru-fp" () in
   let page = translated_page () in
   let key i = Store.key store ~base:page.Translate.base (string_of_int i) in
   let bytes = ref 0 in

@@ -226,7 +226,7 @@ let test_codec_real_page () =
 let test_store_lifecycle () =
   let dir = fresh_dir () in
   let store =
-    Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"test-fp-v1"
+    Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"test-fp-v1" ()
   in
   let mem, page = translated_page "wc" in
   let bytes = Ppc.Mem.read_string mem page.base page.psize in
@@ -243,7 +243,7 @@ let test_store_lifecycle () =
   | _ -> Alcotest.fail "expected hit");
   (* a different fingerprint never sees the entry *)
   let other =
-    Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"test-fp-v2"
+    Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"test-fp-v2" ()
   in
   (match Store.probe other ~key:(Store.key other ~base:page.base bytes) with
   | `Miss -> ()
@@ -257,7 +257,7 @@ let test_store_lifecycle () =
 
 let test_store_detects_corruption () =
   let dir = fresh_dir () in
-  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" () in
   let mem, page = translated_page "wc" in
   let bytes = Ppc.Mem.read_string mem page.base page.psize in
   let key = Store.key store ~base:page.base bytes in
@@ -427,7 +427,7 @@ let test_selfmod_evicts () =
      translation *)
   let store =
     Store.open_store ~dir ~frontend:"ppc"
-      ~fingerprint:(Translator.Params.fingerprint Translator.Params.default)
+      ~fingerprint:(Translator.Params.fingerprint Translator.Params.default) ()
   in
   let psize = Translator.Params.default.page_size in
   let stale_key = Store.key store ~base:jit_page (jit_page_bytes ~psize) in
@@ -453,7 +453,7 @@ let test_selfmod_evicts () =
 
 let test_spec_inhibited_flag_roundtrip () =
   let dir = fresh_dir () in
-  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" () in
   let mem, page = translated_page "wc" in
   let bytes = Ppc.Mem.read_string mem page.base page.psize in
   let key = Store.key store ~base:page.base bytes in
@@ -476,7 +476,7 @@ let test_spec_inhibited_flag_roundtrip () =
 
 let test_store_skips_junk () =
   let dir = fresh_dir () in
-  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" () in
   let mem, page = translated_page "wc" in
   let bytes = Ppc.Mem.read_string mem page.base page.psize in
   let key = Store.key store ~base:page.base bytes in
@@ -572,7 +572,7 @@ let test_missing_dir_is_empty () =
    and foreign files alone. *)
 let test_open_sweeps_orphan_tmp () =
   let dir = fresh_dir () in
-  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  let store = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" () in
   let _, page = translated_page "wc" in
   let k = Store.key store ~base:page.base "bytes" in
   ignore (Store.persist store ~key:k page ~spec_inhibited:false);
@@ -583,7 +583,7 @@ let test_open_sweeps_orphan_tmp () =
   touch ".tcache-orphan-a.tmp";
   touch ".tcache-orphan-b.tmp";
   touch "README";
-  let store2 = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" in
+  let store2 = Store.open_store ~dir ~frontend:"ppc" ~fingerprint:"fp" () in
   Alcotest.(check int) "orphans swept" 2 store2.swept_tmp;
   Alcotest.(check bool) "no temp files left" false
     (Array.exists
